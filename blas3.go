@@ -1,0 +1,86 @@
+package recmat
+
+import (
+	"repro/internal/blas3"
+	"repro/internal/matrix"
+)
+
+// The BLAS-3 layer: the remaining Level 3 routines and the recursive
+// Cholesky factorization, all built on the recursive-layout GEMM as the
+// ATLAS work cited by the paper prescribes. Each routine is a quadrant
+// recursion whose bulk flops flow through Mul under the layout and
+// algorithm selected in opts.
+
+// SYRK computes C ← α·A·Aᵀ + β·C (trans false) or C ← α·Aᵀ·A + β·C
+// (trans true). C must be square; both triangles are updated.
+func (e *Engine) SYRK(trans bool, alpha float64, A *Matrix, beta float64, C *Matrix, opts *Options) error {
+	return blas3.SYRK(e.pool, opts.coreOptions(), trans, alpha, A, beta, C)
+}
+
+// TRSM solves op(L)·X = α·B in place (X overwrites B). upper selects an
+// upper-triangular factor; transL applies the factor transposed.
+func (e *Engine) TRSM(upper, transL bool, alpha float64, L, B *Matrix, opts *Options) error {
+	return blas3.TRSM(e.pool, opts.coreOptions(), upper, transL, alpha, L, B)
+}
+
+// TRMM computes B ← α·op(L)·B in place for triangular L.
+func (e *Engine) TRMM(upper, transL bool, alpha float64, L, B *Matrix, opts *Options) error {
+	return blas3.TRMM(e.pool, opts.coreOptions(), upper, transL, alpha, L, B)
+}
+
+// Cholesky factors a symmetric positive-definite matrix (only the lower
+// triangle is read) into L·Lᵀ, returning the lower-triangular L.
+func (e *Engine) Cholesky(A *Matrix, opts *Options) (*Matrix, error) {
+	return blas3.Cholesky(e.pool, opts.coreOptions(), A)
+}
+
+// SolveSPD solves A·X = B for symmetric positive-definite A by Cholesky
+// factorization and two triangular solves; B is overwritten with X.
+func (e *Engine) SolveSPD(A, B *Matrix, opts *Options) error {
+	L, err := e.Cholesky(A, opts)
+	if err != nil {
+		return err
+	}
+	if err := e.TRSM(false, false, 1, L, B, opts); err != nil {
+		return err
+	}
+	return e.TRSM(false, true, 1, L, B, opts)
+}
+
+// LUFactorization is an LU factorization with partial pivoting
+// (P·A = L·U) whose trailing-matrix updates run through the
+// recursive-layout multiply.
+type LUFactorization struct {
+	f    *blas3.LU
+	e    *Engine
+	opts *Options
+}
+
+// LU factors a general square matrix with partial pivoting.
+func (e *Engine) LU(A *Matrix, opts *Options) (*LUFactorization, error) {
+	f, err := blas3.Factor(e.pool, opts.coreOptions(), A)
+	if err != nil {
+		return nil, err
+	}
+	return &LUFactorization{f: f, e: e, opts: opts}, nil
+}
+
+// Solve solves A·X = B using the factorization; B is overwritten with X.
+func (lu *LUFactorization) Solve(B *Matrix) error {
+	return lu.f.Solve(lu.e.pool, lu.opts.coreOptions(), B)
+}
+
+// Det returns the determinant of the factored matrix.
+func (lu *LUFactorization) Det() float64 { return lu.f.Det() }
+
+// SolveLU factors A and solves A·X = B in one call; B is overwritten.
+func (e *Engine) SolveLU(A, B *Matrix, opts *Options) error {
+	f, err := e.LU(A, opts)
+	if err != nil {
+		return err
+	}
+	return f.Solve(B)
+}
+
+// ensure matrix package stays the single source of the Matrix type.
+var _ *matrix.Dense = (*Matrix)(nil)

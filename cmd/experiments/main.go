@@ -1,0 +1,492 @@
+// experiments regenerates every figure and table of the paper's
+// evaluation (Section 5), printing one table per experiment. By default
+// it runs every experiment at "quick" sizes that finish in a few minutes
+// on a laptop; -full selects the paper's original problem sizes
+// (n ≈ 1000–1536), and -fig / -exp select a single experiment.
+//
+// Usage:
+//
+//	experiments [-fig 4|5|6|7] [-exp slowdown|parallelism|conversion|ld|falseshare]
+//	            [-full] [-workers 0] [-reps 3]
+//
+// The mapping from experiment to paper result is documented in DESIGN.md
+// and the measured outputs are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	recmat "repro"
+	"repro/internal/cachesim"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+var (
+	full    = flag.Bool("full", false, "use the paper's problem sizes (slow)")
+	workers = flag.Int("workers", 0, "max worker count (0 = one per CPU)")
+	reps    = flag.Int("reps", 3, "repetitions per data point (best is reported)")
+	seed    = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (1, 2, 4, 5, 6, 7); 0 = all")
+	exp := flag.String("exp", "", "text experiment: slowdown|parallelism|conversion|ld|falseshare|tlb|lowmem|sched|dilation")
+	flag.Parse()
+
+	run := func(n int, name string, f func()) {
+		all := *fig == 0 && *exp == ""
+		if all || (n > 0 && *fig == n) || (name != "" && *exp == name) {
+			f()
+		}
+	}
+	run(1, "", fig1)
+	run(2, "", fig2)
+	run(4, "", fig4)
+	run(5, "", fig5)
+	run(6, "", fig6)
+	run(7, "", fig7)
+	run(-1, "slowdown", slowdown)
+	run(-1, "parallelism", parallelism)
+	run(-1, "conversion", conversion)
+	run(-1, "ld", leadingDim)
+	run(-1, "falseshare", falseShare)
+	run(-1, "tlb", tlb)
+	run(-1, "lowmem", lowmem)
+	run(-1, "sched", schedStats)
+	run(-1, "dilation", dilation)
+}
+
+// timeMul measures the best-of-reps end-to-end time of one configuration.
+func timeMul(eng *recmat.Engine, n int, opts *recmat.Options) (time.Duration, *recmat.Report) {
+	rng := rand.New(rand.NewSource(*seed))
+	A := recmat.Random(n, n, rng)
+	B := recmat.Random(n, n, rng)
+	C := recmat.NewMatrix(n, n)
+	var best time.Duration
+	var bestRep *recmat.Report
+	for r := 0; r < *reps; r++ {
+		t0 := time.Now()
+		rep, err := eng.Mul(C, A, B, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		el := time.Since(t0)
+		if bestRep == nil || el < best {
+			best, bestRep = el, rep
+		}
+	}
+	return best, bestRep
+}
+
+func header(title string) {
+	fmt.Printf("\n================================================================\n")
+	fmt.Printf("%s\n", title)
+	fmt.Printf("================================================================\n")
+}
+
+// fig1 prints the algorithmic locality summary of Figure 1 (the full dot
+// grids come from cmd/localityviz).
+func fig1() {
+	header("Figure 1 — algorithmic locality of reference (8x8, per C element)")
+	fmt.Println("see cmd/localityviz for the dot grids; summary statistics:")
+	fmt.Printf("%-10s %14s %14s %14s\n", "algorithm", "total reads", "max A reads", "max B reads")
+	type row struct {
+		name string
+		alg  recmat.Algorithm
+	}
+	for _, r := range []row{{"standard", recmat.Standard}, {"strassen", recmat.Strassen}, {"winograd", recmat.Winograd}} {
+		total, maxA, maxB := localityStats(r.alg, 8)
+		fmt.Printf("%-10s %14d %14d %14d\n", r.name, total, maxA, maxB)
+	}
+	fmt.Println("(standard reads exactly n per element; the fast algorithms read")
+	fmt.Println(" supersets, worst on the diagonal for Strassen and at the (0,7)/(7,0)")
+	fmt.Println(" corners for Winograd — matching the paper's Figure 1.)")
+}
+
+func localityStats(alg recmat.Algorithm, n int) (total, maxA, maxB int) {
+	deps := trace.Reads(alg, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a, b := trace.Count(deps[i][j].A), trace.Count(deps[i][j].B)
+			total += a + b
+			if a > maxA {
+				maxA = a
+			}
+			if b > maxB {
+				maxB = b
+			}
+		}
+	}
+	return
+}
+
+// fig2 prints the layout orderings (Figure 2) at depth 3.
+func fig2() {
+	header("Figure 2 — layout function orderings (8x8 grid of tiles)")
+	for _, c := range layout.Curves {
+		fmt.Printf("\n%s:\n", c)
+		g := c.Grid(3)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				fmt.Printf("%3d", g[i*8+j])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// fig4 reproduces Figure 4: execution time vs. tile size, standard
+// algorithm, Z-Morton layout, one processor.
+func fig4() {
+	n1, n2 := 256, 384
+	tiles1 := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	tiles2 := []int{3, 6, 12, 24, 48, 96, 192, 384}
+	if *full {
+		n1, n2 = 1024, 1536
+		tiles1 = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+		tiles2 = []int{3, 6, 12, 24, 48, 96, 192, 384, 768}
+	}
+	header(fmt.Sprintf("Figure 4 — time vs. tile size (standard, Z-Morton, 1 proc, n=%d and n=%d)", n1, n2))
+	eng := recmat.NewEngine(1)
+	defer eng.Close()
+	for _, nc := range []struct {
+		n  int
+		ts []int
+	}{{n1, tiles1}, {n2, tiles2}} {
+		fmt.Printf("\nn = %d\n%8s %14s %10s\n", nc.n, "tile", "time", "MFLOPS")
+		for _, t := range nc.ts {
+			el, _ := timeMul(eng, nc.n, &recmat.Options{Layout: recmat.ZMorton, Algorithm: recmat.Standard, ForceTile: t})
+			fmt.Printf("%8d %14v %10.0f\n", t, el.Round(time.Microsecond), mflops(nc.n, el))
+		}
+	}
+}
+
+func mflops(n int, el time.Duration) float64 {
+	return 2 * float64(n) * float64(n) * float64(n) / el.Seconds() / 1e6
+}
+
+// fig5 reproduces Figure 5: robustness of performance for n in a small
+// range, standard and Strassen × {ColMajor, Z-Morton} × worker counts.
+func fig5() {
+	base, end, step := 250, 266, 2
+	if *full {
+		base, end, step = 1000, 1048, 4
+	}
+	header(fmt.Sprintf("Figure 5 — robustness for n in [%d,%d] (time per n)", base, end))
+	ws := workerList()
+	for _, w := range ws {
+		eng := recmat.NewEngine(w)
+		fmt.Printf("\nworkers = %d\n%6s", w, "n")
+		type cfg struct {
+			name string
+			alg  recmat.Algorithm
+			lo   recmat.Layout
+		}
+		cfgs := []cfg{
+			{"std/LC", recmat.Standard, recmat.ColMajor},
+			{"std/LZ", recmat.Standard, recmat.ZMorton},
+			{"str/LC", recmat.Strassen, recmat.ColMajor},
+			{"str/LZ", recmat.Strassen, recmat.ZMorton},
+		}
+		for _, c := range cfgs {
+			fmt.Printf(" %12s", c.name)
+		}
+		fmt.Println()
+		for n := base; n <= end; n += step {
+			fmt.Printf("%6d", n)
+			for _, c := range cfgs {
+				el, _ := timeMul(eng, n, &recmat.Options{Layout: c.lo, Algorithm: c.alg})
+				fmt.Printf(" %12v", el.Round(time.Microsecond))
+			}
+			fmt.Println()
+		}
+		eng.Close()
+	}
+}
+
+// fig6 reproduces Figure 6: six layouts × three algorithms.
+func fig6() {
+	sizes := []int{250, 360}
+	if *full {
+		sizes = []int{1000, 1200}
+	}
+	header("Figure 6 — comparative performance of the six layouts")
+	ws := workerList()
+	for _, n := range sizes {
+		for _, w := range ws {
+			eng := recmat.NewEngine(w)
+			fmt.Printf("\nn = %d, workers = %d\n%-12s", n, w, "layout")
+			algs := []recmat.Algorithm{recmat.Standard, recmat.Strassen, recmat.Winograd}
+			for _, a := range algs {
+				fmt.Printf(" %12v", a)
+			}
+			fmt.Println()
+			for _, lo := range recmat.Layouts {
+				fmt.Printf("%-12v", lo)
+				for _, a := range algs {
+					el, _ := timeMul(eng, n, &recmat.Options{Layout: lo, Algorithm: a})
+					fmt.Printf(" %12v", el.Round(time.Microsecond))
+				}
+				fmt.Println()
+			}
+			eng.Close()
+		}
+	}
+}
+
+// fig7 reproduces Figure 7's overhead factors with the kernel
+// substitution of DESIGN.md: blocked≈native BLAS, unrolled4 = the
+// paper's C kernel, naive = unoptimized compilation.
+func fig7() {
+	n := 256
+	if *full {
+		n = 1024
+	}
+	header(fmt.Sprintf("Figure 7 — leaf-kernel quality overheads (n=%d, 1 proc)", n))
+	eng := recmat.NewEngine(1)
+	defer eng.Close()
+	fmt.Printf("%-10s %-10s %14s %10s %18s\n", "algorithm", "kernel", "time", "MFLOPS", "vs blocked")
+	for _, alg := range []recmat.Algorithm{recmat.Standard, recmat.Strassen} {
+		var base time.Duration
+		for _, kn := range []string{"blocked", "axpy", "unrolled4", "naive"} {
+			k, _ := recmat.KernelByName(kn)
+			el, _ := timeMul(eng, n, &recmat.Options{Layout: recmat.ZMorton, Algorithm: alg, Kernel: k})
+			if kn == "blocked" {
+				base = el
+			}
+			fmt.Printf("%-10v %-10s %14v %10.0f %17.2fx\n",
+				alg, kn, el.Round(time.Microsecond), mflops(n, el), float64(el)/float64(base))
+		}
+	}
+	fmt.Println("(paper: no native BLAS costs 1.2-1.4x; gcc instead of cc costs 1.5-1.9x)")
+}
+
+// slowdown reproduces the Section 5 text: slowdown of the recursive code
+// versus a tuned baseline, at the best tile size and at element level.
+func slowdown() {
+	sizes := []int{256, 384}
+	if *full {
+		sizes = []int{1024, 1536}
+	}
+	header("Section 5 text — slowdown factors vs. tuned baseline")
+	eng := recmat.NewEngine(1)
+	defer eng.Close()
+	blocked, _ := recmat.KernelByName("blocked")
+	for _, n := range sizes {
+		// Pick a tile near 16 that divides n into a power-of-two grid so
+		// no padding flops distort the comparison (the paper's n=1024
+		// uses t=16; n=1536 uses t=24).
+		t := 16
+		for !isPow2(n / t) {
+			t += 8
+		}
+		native, _ := timeMul(eng, n, &recmat.Options{Layout: recmat.ColMajor, Algorithm: recmat.Standard, Kernel: blocked, ForceTile: n})
+		best, _ := timeMul(eng, n, &recmat.Options{Layout: recmat.ZMorton, Algorithm: recmat.Standard, ForceTile: t})
+		fmt.Printf("\nn = %d\n", n)
+		fmt.Printf("  tuned baseline (one blocked call): %v\n", native.Round(time.Microsecond))
+		fmt.Printf("  recursive Z-Morton, t=%-2d:          %v  (slowdown %.2fx; paper: 1.88x at n=1024, 1.56x at n=1536)\n",
+			t, best.Round(time.Microsecond), float64(best)/float64(native))
+		if !*full && n <= 384 {
+			elem, _ := timeMul(eng, n, &recmat.Options{Layout: recmat.ZMorton, Algorithm: recmat.Standard, ForceTile: 1})
+			fmt.Printf("  element-level (t=1, Frens-Wise):   %v  (slowdown %.1fx; paper reports ~8x)\n",
+				elem.Round(time.Microsecond), float64(elem)/float64(native))
+		}
+	}
+}
+
+// parallelism reproduces the critical-path discussion: analytic and
+// measured work/span for the algorithms at n=1000-equivalent tiling.
+func parallelism() {
+	header("Section 5 text — available parallelism (work/span)")
+	fmt.Printf("%-10s %8s %6s %14s %14s %12s\n", "algorithm", "n", "tile", "work(flops)", "span(flops)", "parallelism")
+	n, t, d := 1024, 16, uint(6)
+	for _, alg := range recmat.Algorithms {
+		w, s := recmat.WorkSpan(alg, d, t)
+		fmt.Printf("%-10v %8d %6d %14.3g %14.3g %12.1f\n", alg, n, t, w, s, recmat.Parallelism(w, s))
+	}
+	fmt.Println("\nmeasured (runtime accounting, SerialCutoff=1, n=256, t=16):")
+	eng := recmat.NewEngine(workerCap())
+	defer eng.Close()
+	fmt.Printf("%-10s %14s %14s %12s\n", "algorithm", "work", "span", "parallelism")
+	for _, alg := range recmat.Algorithms {
+		_, rep := timeMul(eng, 256, &recmat.Options{Layout: recmat.ZMorton, Algorithm: alg, ForceTile: 16, SerialCutoff: 1})
+		fmt.Printf("%-10v %14.3g %14.3g %12.1f\n", alg, rep.Work, rep.Span, rep.Parallelism())
+	}
+	fmt.Println("(the paper's Cilk-measured values, ~40 standard / ~23 fast at n=1000,")
+	fmt.Println(" are burdened by runtime overheads; the unburdened DAG parallelism is")
+	fmt.Println(" far larger, and the fast algorithms' is lower, in the same ordering.)")
+}
+
+// conversion quantifies the format-conversion overhead of Section 4.
+func conversion() {
+	n := 512
+	if *full {
+		n = 1024
+	}
+	header(fmt.Sprintf("Section 4 — conversion cost vs. multiply (standard, n=%d)", n))
+	eng := recmat.NewEngine(workerCap())
+	defer eng.Close()
+	fmt.Printf("%-12s %12s %12s %12s %8s\n", "layout", "convert-in", "compute", "convert-out", "share")
+	for _, lo := range recmat.Layouts[1:] {
+		_, rep := timeMul(eng, n, &recmat.Options{Layout: lo, Algorithm: recmat.Standard})
+		share := 100 * float64(rep.ConvertIn+rep.ConvertOut) / float64(rep.Total())
+		fmt.Printf("%-12v %12v %12v %12v %7.1f%%\n", lo,
+			rep.ConvertIn.Round(time.Microsecond), rep.Compute.Round(time.Microsecond),
+			rep.ConvertOut.Round(time.Microsecond), share)
+	}
+}
+
+// leadingDim reproduces the Section 5.1 explanation: leaf products of
+// the standard algorithm on canonical layouts run at leading dimension
+// n, while the fast algorithms' temporaries halve the leading dimension
+// each level. Simulated self-interference misses show why that matters.
+func leadingDim() {
+	header("Section 5.1 — self-interference vs. leading dimension (simulated)")
+	fmt.Printf("%8s %10s %14s %10s\n", "ld", "t", "L1 misses", "miss rate")
+	for _, ld := range []int{16, 68, 100, 64, 128, 256, 512, 1024, 520} {
+		r := cachesim.LeafSim{T: 16, LD: ld, Repeats: 50, Cfg: cachesim.Small}.Run()
+		fmt.Printf("%8d %10d %14d %9.1f%%\n", ld, 16, r.L1.Misses, 100*r.L1.MissRate())
+	}
+	fmt.Println("(a 16x16 tile re-walked 50 times: contiguous (ld=16) or benign leading")
+	fmt.Println(" dimensions (68, 100) miss only on cold start; power-of-two leading")
+	fmt.Println(" dimensions make the tile's columns conflict in the direct-mapped L1")
+	fmt.Println(" and keep missing. This size sensitivity is what makes the standard")
+	fmt.Println(" algorithm under ColMajor fluctuate in Figure 5, while the fast")
+	fmt.Println(" algorithms, whose temporaries halve ld at every level, stay flat.)")
+}
+
+// falseShare reproduces the false-sharing claim of Section 3 with the
+// coherence simulator.
+func falseShare() {
+	header("Section 3 — false sharing across quadrant boundaries (simulated, 4 procs)")
+	fmt.Printf("%8s %8s %-12s %16s %16s\n", "n", "t", "layout", "invalidations", "false-sharing")
+	for _, nt := range [][2]int{{60, 15}, {100, 25}, {116, 29}, {64, 16}, {128, 32}} {
+		n, t := nt[0], nt[1]
+		for _, lo := range []recmat.Layout{recmat.ColMajor, recmat.ZMorton} {
+			r := cachesim.MatmulSim{N: n, T: t, Curve: lo, Procs: 4, Cfg: cachesim.Small}.Run()
+			fmt.Printf("%8d %8d %-12v %16d %16d\n", n, t, lo, r.L1.Invalidations, r.L1.FalseInvalidations)
+		}
+	}
+	fmt.Println("(sizes whose quadrant height is not a multiple of the 4-word block")
+	fmt.Println(" (60, 100, 116) false-share under ColMajor and not under Z-Morton,")
+	fmt.Println(" which keeps each processor's quadrant contiguous; block-aligned")
+	fmt.Println(" sizes (64, 128) hide the effect under both — the size sensitivity")
+	fmt.Println(" the paper attributes to canonical layouts.)")
+}
+
+func workerList() []int {
+	max := workerCap()
+	ws := []int{1}
+	for w := 2; w <= max; w *= 2 {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func workerCap() int {
+	if *workers > 0 {
+		return *workers
+	}
+	return 4
+}
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// tlb reproduces the Section 3 dilation claim for TLBs: row-direction
+// walks over column-major matrices thrash the TLB; recursive layouts
+// keep row neighbors in-page.
+func tlb() {
+	header("Section 3 — TLB dilation on row-direction walks (simulated)")
+	fmt.Printf("%8s %-12s %12s %12s %12s\n", "n", "layout", "accesses", "TLB misses", "miss rate")
+	for _, n := range []int{128, 256, 512} {
+		for _, lo := range []recmat.Layout{recmat.ColMajor, recmat.ZMorton, recmat.Hilbert} {
+			r := cachesim.RowWalkSim{N: n, T: 16, Curve: lo, Rows: 8, Cfg: cachesim.Small}.Run()
+			fmt.Printf("%8d %-12v %12d %12d %11.1f%%\n",
+				n, lo, r.Accesses, r.TLB.Misses, 100*r.TLB.MissRate())
+		}
+	}
+	fmt.Println("(walking 8 rows element-by-element: once the column stride exceeds")
+	fmt.Println(" the page size, the canonical layout touches a new page per element")
+	fmt.Println(" while recursive layouts keep most row neighbors within one tile.)")
+}
+
+// lowmem reproduces the Section 5 curiosity about the space-conserving
+// serial Strassen variant: it behaves like the standard algorithm, with
+// recursive layouts reducing its time by 10-20%.
+func lowmem() {
+	n := 360
+	if *full {
+		n = 1024
+	}
+	header(fmt.Sprintf("Section 5 text — low-memory serial Strassen vs. layout (n=%d, 1 proc)", n))
+	eng := recmat.NewEngine(1)
+	defer eng.Close()
+	fmt.Printf("%-18s %12s %12s %10s\n", "algorithm", "ColMajor", "Z-Morton", "LZ gain")
+	for _, alg := range []recmat.Algorithm{recmat.Strassen, recmat.StrassenLowMem} {
+		lc, _ := timeMul(eng, n, &recmat.Options{Layout: recmat.ColMajor, Algorithm: alg})
+		lz, _ := timeMul(eng, n, &recmat.Options{Layout: recmat.ZMorton, Algorithm: alg})
+		fmt.Printf("%-18v %12v %12v %9.1f%%\n", alg,
+			lc.Round(time.Microsecond), lz.Round(time.Microsecond),
+			100*(1-float64(lz)/float64(lc)))
+	}
+	fmt.Println("(paper: the interspersed variant 'behaves more like the standard")
+	fmt.Println(" algorithm: L_Z reduces execution times by 10-20%'.)")
+}
+
+// schedStats prints the scheduler counters for one run — the analogue of
+// the Cilk instrumentation discussed in the paper's critique.
+func schedStats() {
+	n := 360
+	if *full {
+		n = 1000
+	}
+	header(fmt.Sprintf("Cilk critique analogue — scheduler behavior (n=%d)", n))
+	fmt.Printf("%-10s %8s %10s %10s %10s %12s\n", "algorithm", "workers", "spawned", "stolen", "inline", "steal rate")
+	for _, alg := range []recmat.Algorithm{recmat.Standard, recmat.Strassen} {
+		for _, w := range workerList() {
+			eng := recmat.NewEngine(w)
+			eng.ResetSchedulerStats()
+			timeMul(eng, n, &recmat.Options{Layout: recmat.ZMorton, Algorithm: alg})
+			st := eng.SchedulerStats()
+			rate := 0.0
+			if st.Spawns > 0 {
+				rate = float64(st.Steals) / float64(st.Spawns)
+			}
+			fmt.Printf("%-10v %8d %10d %10d %10d %11.1f%%\n",
+				alg, w, st.Spawns, st.Steals, st.Inline, 100*rate)
+			eng.Close()
+		}
+	}
+	fmt.Println("(the recursion stops spawning below the serial cutoff, so tasks are")
+	fmt.Println(" few and coarse — the Cilk work-first discipline. On one worker no")
+	fmt.Println(" steals occur, by construction; with more workers the steal count")
+	fmt.Println(" grows with the worker count while remaining bounded by the spawn")
+	fmt.Println(" count, which is how the paper's code kept scheduling overhead")
+	fmt.Println(" negligible relative to quadrant-sized work.)")
+}
+
+// dilation prints the Section 3.4 dilation statistics of every layout:
+// jump counts and sizes along the curve, directional neighbor stretch,
+// and the axis-asymmetry that distinguishes canonical from recursive
+// layouts.
+func dilation() {
+	header("Section 3.4 — dilation statistics of the layout functions (64x64 grid)")
+	fmt.Printf("%-12s %8s %8s %8s %10s %10s %10s\n",
+		"layout", "jumps", "maxjump", "avgstep", "rowstretch", "colstretch", "asymmetry")
+	for _, c := range layout.Curves {
+		d := layout.MeasureDilation(c, 6)
+		fmt.Printf("%-12v %8d %8d %8.3f %10.2f %10.2f %10.1f\n",
+			c, d.Jumps, d.MaxJump, d.AvgStep, d.AvgRowStretch, d.AvgColStretch, d.Asymmetry())
+	}
+	fmt.Println("(Hilbert walks with no jumps; jump size and frequency shrink as the")
+	fmt.Println(" orientation count grows, as Section 3.4 observes. The canonical")
+	fmt.Println(" layouts are maximally asymmetric — unit stretch on the favored")
+	fmt.Println(" axis, 2^d on the other — while every recursive layout keeps the")
+	fmt.Println(" two directions within a factor of two.)")
+}

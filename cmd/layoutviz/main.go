@@ -1,0 +1,88 @@
+// layoutviz prints the array layout orderings of Figure 2 of the paper:
+// for each layout function, the position along the curve (the S number)
+// of every tile in a 2^d × 2^d grid, plus an ASCII rendering of the
+// curve itself.
+//
+// Usage:
+//
+//	layoutviz [-d depth] [-curve name]
+//
+// With no -curve, all seven layouts are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+func main() {
+	d := flag.Uint("d", 3, "depth: the grid is 2^d tiles per side")
+	curveName := flag.String("curve", "", "single curve to print (c,r,u,x,z,g,h); default all")
+	flag.Parse()
+
+	curves := layout.Curves
+	if *curveName != "" {
+		c, err := layout.ParseCurve(*curveName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		curves = []layout.Curve{c}
+	}
+	for _, c := range curves {
+		printCurve(c, *d)
+	}
+}
+
+func printCurve(c layout.Curve, d uint) {
+	n := 1 << d
+	fmt.Printf("%s (orientations: %d)\n", c, c.Orientations())
+	g := c.Grid(d)
+	w := len(fmt.Sprint(n*n - 1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			fmt.Printf("%*d ", w, g[i*n+j])
+		}
+		fmt.Println()
+	}
+	fmt.Println(renderPath(c, d))
+}
+
+// renderPath draws the curve on a character grid: cells at even
+// positions, connecting segments between consecutive S positions.
+func renderPath(c layout.Curve, d uint) string {
+	n := 1 << d
+	h, w := 2*n-1, 2*n-1
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	pi, pj := c.SInverse(0, d)
+	grid[2*pi][2*pj] = 'o'
+	for s := uint64(1); s < uint64(n)*uint64(n); s++ {
+		i, j := c.SInverse(s, d)
+		grid[2*i][2*j] = 'o'
+		di, dj := int(i)-int(pi), int(j)-int(pj)
+		switch {
+		case di == 0 && (dj == 1 || dj == -1):
+			grid[2*i][2*int(pj)+dj] = '-'
+		case dj == 0 && (di == 1 || di == -1):
+			grid[2*int(pi)+di][2*j] = '|'
+		default:
+			// Non-adjacent jump (the dilation effect): mark both ends.
+			grid[2*pi][2*pj] = '*'
+			grid[2*i][2*j] = '*'
+		}
+		pi, pj = i, j
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package recmat
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Engine owns a fixed pool of workers (the stand-in for the paper's
+// Cilk runtime) and runs multiplications on it. Create one Engine per
+// desired processor count, reuse it across calls, and Close it when
+// done. An Engine is safe for sequential reuse; concurrent calls on the
+// same Engine serialize correctness-wise but share workers, so prefer
+// one Engine per concurrent caller.
+type Engine struct {
+	pool *sched.Pool
+}
+
+// NewEngine creates an engine with the given number of workers
+// (0 = one per CPU).
+func NewEngine(workers int) *Engine {
+	return &Engine{pool: sched.NewPool(workers)}
+}
+
+// Workers returns the engine's worker count.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// SchedStats is a snapshot of the engine's scheduling counters: spawned
+// (stealable) tasks, steals, and inline-executed frames — the analogue
+// of the Cilk runtime instrumentation the paper's critique discusses.
+type SchedStats = sched.PoolStats
+
+// SchedulerStats returns the cumulative scheduling counters.
+func (e *Engine) SchedulerStats() SchedStats { return e.pool.Stats() }
+
+// ResetSchedulerStats zeroes the scheduling counters.
+func (e *Engine) ResetSchedulerStats() { e.pool.ResetStats() }
+
+// Close releases the engine's workers.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Mul computes C = A·B on the engine's workers.
+func (e *Engine) Mul(C, A, B *Matrix, opts *Options) (*Report, error) {
+	return e.DGEMM(false, false, 1, A, B, 0, C, opts)
+}
+
+// MulAdd computes C += A·B on the engine's workers.
+func (e *Engine) MulAdd(C, A, B *Matrix, opts *Options) (*Report, error) {
+	return e.DGEMM(false, false, 1, A, B, 1, C, opts)
+}
+
+// DGEMM computes C ← α·op(A)·op(B) + β·C on the engine's workers.
+func (e *Engine) DGEMM(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
+	return core.GEMM(e.pool, opts.coreOptions(), transA, transB, alpha, A, B, beta, C)
+}
+
+// WorkSpan returns the analytic work and span, in flops, of one
+// algorithm on a 2^depth grid of t×t tiles — the idealized counterpart
+// of the Report's runtime accounting, useful for predicting available
+// parallelism before running.
+func WorkSpan(alg Algorithm, depth uint, t int) (work, span float64) {
+	return core.WorkSpan(alg, depth, t)
+}
+
+// Parallelism returns work/span.
+func Parallelism(work, span float64) float64 { return sched.Parallelism(work, span) }

@@ -1,0 +1,68 @@
+package recmat_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	recmat "repro"
+)
+
+// ExampleMul multiplies two matrices over the Z-Morton layout and checks
+// the result against the naive reference.
+func ExampleMul() {
+	rng := rand.New(rand.NewSource(1))
+	A := recmat.Random(100, 100, rng)
+	B := recmat.Random(100, 100, rng)
+	C := recmat.NewMatrix(100, 100)
+	if _, err := recmat.Mul(C, A, B, &recmat.Options{
+		Layout:    recmat.ZMorton,
+		Algorithm: recmat.Strassen,
+		Workers:   2,
+	}); err != nil {
+		panic(err)
+	}
+	want := recmat.NewMatrix(100, 100)
+	recmat.RefGEMM(false, false, 1, A, B, 0, want)
+	fmt.Println("correct:", recmat.Equal(C, want, 1e-10))
+	// Output: correct: true
+}
+
+// ExampleEngine_DGEMM shows the full BLAS dgemm form with transposes and
+// scalars.
+func ExampleEngine_DGEMM() {
+	eng := recmat.NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(2))
+	A := recmat.Random(30, 50, rng) // op(A) = Aᵀ is 50×30
+	B := recmat.Random(30, 40, rng)
+	C := recmat.Random(50, 40, rng)
+	want := C.Clone()
+	recmat.RefGEMM(true, false, 2, A, B, -1, want)
+	if _, err := eng.DGEMM(true, false, 2, A, B, -1, C, &recmat.Options{Layout: recmat.Hilbert}); err != nil {
+		panic(err)
+	}
+	fmt.Println("correct:", recmat.Equal(C, want, 1e-11))
+	// Output: correct: true
+}
+
+// ExampleEngine_Cholesky factors an SPD matrix and verifies L·Lᵀ = A.
+func ExampleEngine_Cholesky() {
+	eng := recmat.NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(3))
+	n := 80
+	G := recmat.Random(n, n, rng)
+	A := recmat.NewMatrix(n, n)
+	recmat.RefGEMM(true, false, 1, G, G, 0, A)
+	for i := 0; i < n; i++ {
+		A.Set(i, i, A.At(i, i)+float64(n))
+	}
+	L, err := eng.Cholesky(A, &recmat.Options{Layout: recmat.ZMorton})
+	if err != nil {
+		panic(err)
+	}
+	rec := recmat.NewMatrix(n, n)
+	recmat.RefGEMM(false, true, 1, L, L, 0, rec)
+	fmt.Println("reconstructs:", recmat.Equal(rec, A, 1e-9))
+	// Output: reconstructs: true
+}

@@ -1,0 +1,123 @@
+// Package bits provides the bit-manipulation primitives that underlie the
+// recursive array layout functions of Chatterjee et al. (SPAA 1999):
+// bitwise interleaving (the ⋈ operator of Section 3), Gray-code encoding
+// and decoding, and helpers for extracting bit pairs.
+//
+// All functions operate on the low Width bits of their arguments; indices
+// used by the layout package never exceed 2^31, so uint32 coordinates and
+// uint64 interleaved keys cover every case in practice.
+package bits
+
+// Spread distributes the low 32 bits of x into the even bit positions of
+// the result: bit k of x moves to bit 2k. It is the building block of
+// Interleave and runs in O(lg lg n) word operations using the classic
+// "magic masks" bit-dilation sequence.
+func Spread(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// Compact is the inverse of Spread: it gathers the even bit positions of x
+// (bits 0, 2, 4, ...) into a dense 32-bit value. Odd bit positions of x
+// are ignored.
+func Compact(x uint64) uint32 {
+	v := x & 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return uint32(v)
+}
+
+// Interleave computes the bitwise interleaving u ⋈ v of the paper:
+// the result has bit 2k+1 equal to bit k of u and bit 2k equal to bit k
+// of v. In the paper's notation u ⋈ v = u_{d-1} v_{d-1} ... u_0 v_0, so
+// u supplies the more significant bit of every pair.
+func Interleave(u, v uint32) uint64 {
+	return Spread(u)<<1 | Spread(v)
+}
+
+// Deinterleave splits an interleaved key back into its two components,
+// inverting Interleave: u receives the odd bits, v the even bits.
+func Deinterleave(x uint64) (u, v uint32) {
+	return Compact(x >> 1), Compact(x)
+}
+
+// Gray returns the standard reflected binary Gray code G(i) of i:
+// bit k of the result is b_k XOR b_{k+1}.
+func Gray(i uint32) uint32 {
+	return i ^ (i >> 1)
+}
+
+// GrayInverse decodes a reflected binary Gray code, returning the integer
+// i such that Gray(i) == g. Decoding is the parallel prefix XOR of the
+// bits of g from the most significant end, computed in O(lg w) steps.
+func GrayInverse(g uint32) uint32 {
+	g ^= g >> 16
+	g ^= g >> 8
+	g ^= g >> 4
+	g ^= g >> 2
+	g ^= g >> 1
+	return g
+}
+
+// Gray64 returns the reflected binary Gray code of a 64-bit value. The
+// Gray-Morton layout applies Gray decoding to the full interleaved
+// 2d-bit key, so a 64-bit variant is required.
+func Gray64(i uint64) uint64 {
+	return i ^ (i >> 1)
+}
+
+// GrayInverse64 decodes a 64-bit reflected binary Gray code.
+func GrayInverse64(g uint64) uint64 {
+	g ^= g >> 32
+	g ^= g >> 16
+	g ^= g >> 8
+	g ^= g >> 4
+	g ^= g >> 2
+	g ^= g >> 1
+	return g
+}
+
+// Pair extracts the bit pair (bit k of i, bit k of j) as a 2-bit value
+// with i's bit in the more significant position. The Hilbert finite state
+// machine of Bially consumes exactly these pairs from the most significant
+// level downward.
+func Pair(i, j uint32, k uint) uint8 {
+	return uint8((i>>k&1)<<1 | j>>k&1)
+}
+
+// Log2 returns floor(log2(x)) for x > 0, and 0 for x == 0.
+func Log2(x uint32) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x int) bool {
+	return x > 0 && x&(x-1) == 0
+}
+
+// NextPow2 returns the smallest power of two that is >= x, for x >= 1.
+func NextPow2(x int) int {
+	p := 1
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,80 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZNextJ(t *testing.T) {
+	// Walking a row with ZNextJ must agree with re-interleaving.
+	for i := uint32(0); i < 16; i++ {
+		s := Interleave(i, 0)
+		for j := uint32(1); j < 64; j++ {
+			s = ZNextJ(s)
+			if want := Interleave(i, j); s != want {
+				t.Fatalf("ZNextJ walk at (%d,%d): got %b, want %b", i, j, s, want)
+			}
+		}
+	}
+}
+
+func TestZNextI(t *testing.T) {
+	for j := uint32(0); j < 16; j++ {
+		s := Interleave(0, j)
+		for i := uint32(1); i < 64; i++ {
+			s = ZNextI(s)
+			if want := Interleave(i, j); s != want {
+				t.Fatalf("ZNextI walk at (%d,%d): got %b, want %b", i, j, s, want)
+			}
+		}
+	}
+}
+
+func TestZAdd(t *testing.T) {
+	if err := quick.Check(func(i, j, di, dj uint16) bool {
+		s := Interleave(uint32(i), uint32(j))
+		sj := ZAddJ(s, uint32(dj))
+		si := ZAddI(s, uint32(di))
+		return sj == Interleave(uint32(i), uint32(j)+uint32(dj)) &&
+			si == Interleave(uint32(i)+uint32(di), uint32(j))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZAddCommutes(t *testing.T) {
+	// Adding rows then columns equals columns then rows.
+	s := Interleave(3, 5)
+	a := ZAddI(ZAddJ(s, 7), 9)
+	b := ZAddJ(ZAddI(s, 9), 7)
+	if a != b || a != Interleave(12, 12) {
+		t.Fatalf("dilated adds do not commute: %b vs %b", a, b)
+	}
+}
+
+func TestMasksPartition(t *testing.T) {
+	if MaskEven|MaskOdd != ^uint64(0) || MaskEven&MaskOdd != 0 {
+		t.Fatal("masks do not partition the word")
+	}
+	if MaskEven != Spread(0xFFFFFFFF) {
+		t.Fatal("MaskEven inconsistent with Spread")
+	}
+}
+
+func BenchmarkZNextJIncremental(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s = ZNextJ(s) & (1<<40 - 1)
+	}
+	_ = s
+}
+
+func BenchmarkZNextJRecompute(b *testing.B) {
+	// The non-incremental alternative: deinterleave, add, re-interleave.
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		u, v := Deinterleave(s)
+		s = Interleave(u, v+1) & (1<<40 - 1)
+	}
+	_ = s
+}

@@ -1,0 +1,347 @@
+// Package blas3 layers the rest of the Level 3 BLAS — and the recursive
+// Cholesky factorization — on top of the paper's fast parallel matrix
+// multiplication, following the observation the paper cites from the
+// ATLAS project ("all of these routines can be implemented efficiently
+// given a fast matrix multiplication routine") and Gustavson's recursive
+// variable blocking for dense linear algebra.
+//
+// Every routine here is a quadrant recursion whose heavy lifting is a
+// GEMM call executed over the configured recursive layout; the recursion
+// bottoms out on a small canonical block solved directly. This is
+// exactly the structure the paper's Section 6 positions as future
+// consumers of recursive layouts.
+package blas3
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// baseSize is the block size at which the recursions switch to direct
+// (non-recursive) computation: small enough that the direct kernels stay
+// in cache, large enough that GEMM calls dominate.
+const baseSize = 64
+
+// gemm is the bridge to the recursive multiplication core.
+func gemm(pool *sched.Pool, o core.Options, transA, transB bool, alpha float64,
+	A, B *matrix.Dense, beta float64, C *matrix.Dense) error {
+	_, err := core.GEMM(pool, o, transA, transB, alpha, A, B, beta, C)
+	return err
+}
+
+// SYRK computes C ← α·A·Aᵀ + β·C (trans == false) or C ← α·Aᵀ·A + β·C
+// (trans == true), exploiting symmetry: only the products above the
+// block diagonal are computed with GEMM, and the mirror blocks are
+// copied. C must be square and is fully updated (both triangles).
+func SYRK(pool *sched.Pool, o core.Options, trans bool, alpha float64, A *matrix.Dense, beta float64, C *matrix.Dense) error {
+	n := A.Rows
+	if trans {
+		n = A.Cols
+	}
+	if C.Rows != n || C.Cols != n {
+		return fmt.Errorf("blas3: SYRK C is %dx%d, want %dx%d", C.Rows, C.Cols, n, n)
+	}
+	return syrk(pool, o, trans, alpha, A, beta, C)
+}
+
+func syrk(pool *sched.Pool, o core.Options, trans bool, alpha float64, A *matrix.Dense, beta float64, C *matrix.Dense) error {
+	n := C.Rows
+	if n <= baseSize {
+		return gemm(pool, o, trans, !trans, alpha, A, A, beta, C)
+	}
+	h := n / 2
+	// Split the "long" dimension of A into the two halves that generate
+	// the block rows/columns of C.
+	var a1, a2 *matrix.Dense
+	if trans {
+		a1 = A.View(0, 0, A.Rows, h)
+		a2 = A.View(0, h, A.Rows, n-h)
+	} else {
+		a1 = A.View(0, 0, h, A.Cols)
+		a2 = A.View(h, 0, n-h, A.Cols)
+	}
+	c11 := C.View(0, 0, h, h)
+	c12 := C.View(0, h, h, n-h)
+	c21 := C.View(h, 0, n-h, h)
+	c22 := C.View(h, h, n-h, n-h)
+	if err := syrk(pool, o, trans, alpha, a1, beta, c11); err != nil {
+		return err
+	}
+	if err := syrk(pool, o, trans, alpha, a2, beta, c22); err != nil {
+		return err
+	}
+	// C21 = α·A2·A1ᵀ + β·C21 (or the trans analogue); C12 mirrors it.
+	if err := gemm(pool, o, trans, !trans, alpha, a2, a1, beta, c21); err != nil {
+		return err
+	}
+	for i := 0; i < c21.Rows; i++ {
+		for j := 0; j < c21.Cols; j++ {
+			c12.Set(j, i, c21.At(i, j))
+		}
+	}
+	return nil
+}
+
+// TRSM solves op(L)·X = α·B for X in place (X overwrites B), where L is
+// lower triangular when upper == false and upper triangular otherwise.
+// This is the left-side variant (side == 'L' in BLAS terms).
+func TRSM(pool *sched.Pool, o core.Options, upper, transL bool, alpha float64, L, B *matrix.Dense) error {
+	if L.Rows != L.Cols {
+		return fmt.Errorf("blas3: TRSM triangular factor is %dx%d", L.Rows, L.Cols)
+	}
+	if L.Rows != B.Rows {
+		return fmt.Errorf("blas3: TRSM dimensions %d vs %d", L.Rows, B.Rows)
+	}
+	B.Scale(alpha)
+	return trsm(pool, o, upper, transL, L, B)
+}
+
+// trsm solves op(L)·X = B in place. Effective orientation: a lower
+// factor accessed transposed behaves like an upper factor and vice
+// versa.
+func trsm(pool *sched.Pool, o core.Options, upper, transL bool, L, B *matrix.Dense) error {
+	n := L.Rows
+	if n <= baseSize {
+		trsmBase(upper, transL, L, B)
+		return nil
+	}
+	h := n / 2
+	l11 := L.View(0, 0, h, h)
+	l22 := L.View(h, h, n-h, n-h)
+	b1 := B.View(0, 0, h, B.Cols)
+	b2 := B.View(h, 0, n-h, B.Cols)
+	// The off-diagonal block of op(L): for lower L it is L21 (acting
+	// B2 -= L21·X1); for upper L it is L12; transposition swaps roles.
+	effUpper := upper != transL
+	if !effUpper {
+		// Forward substitution: X1 first, eliminate, then X2.
+		if err := trsm(pool, o, upper, transL, l11, b1); err != nil {
+			return err
+		}
+		off := L.View(h, 0, n-h, h) // L21
+		if upper {
+			off = L.View(0, h, h, n-h) // L12, used transposed
+		}
+		if err := gemm(pool, o, transL, false, -1, off, b1, 1, b2); err != nil {
+			return err
+		}
+		return trsm(pool, o, upper, transL, l22, b2)
+	}
+	// Backward substitution: X2 first.
+	if err := trsm(pool, o, upper, transL, l22, b2); err != nil {
+		return err
+	}
+	off := L.View(0, h, h, n-h) // L12
+	if !upper {
+		off = L.View(h, 0, n-h, h) // L21, used transposed
+	}
+	if err := gemm(pool, o, transL, false, -1, off, b2, 1, b1); err != nil {
+		return err
+	}
+	return trsm(pool, o, upper, transL, l11, b1)
+}
+
+// trsmBase is the direct substitution on a small block.
+func trsmBase(upper, transL bool, L, B *matrix.Dense) {
+	n := L.Rows
+	at := func(i, j int) float64 {
+		if transL {
+			return L.At(j, i)
+		}
+		return L.At(i, j)
+	}
+	effUpper := upper != transL
+	for col := 0; col < B.Cols; col++ {
+		if !effUpper {
+			for i := 0; i < n; i++ {
+				s := B.At(i, col)
+				for k := 0; k < i; k++ {
+					s -= at(i, k) * B.At(k, col)
+				}
+				B.Set(i, col, s/at(i, i))
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				s := B.At(i, col)
+				for k := i + 1; k < n; k++ {
+					s -= at(i, k) * B.At(k, col)
+				}
+				B.Set(i, col, s/at(i, i))
+			}
+		}
+	}
+}
+
+// TRMM computes B ← α·op(L)·B in place for a triangular L (left side).
+func TRMM(pool *sched.Pool, o core.Options, upper, transL bool, alpha float64, L, B *matrix.Dense) error {
+	if L.Rows != L.Cols {
+		return fmt.Errorf("blas3: TRMM triangular factor is %dx%d", L.Rows, L.Cols)
+	}
+	if L.Rows != B.Rows {
+		return fmt.Errorf("blas3: TRMM dimensions %d vs %d", L.Rows, B.Rows)
+	}
+	if err := trmm(pool, o, upper, transL, L, B); err != nil {
+		return err
+	}
+	B.Scale(alpha)
+	return nil
+}
+
+func trmm(pool *sched.Pool, o core.Options, upper, transL bool, L, B *matrix.Dense) error {
+	n := L.Rows
+	if n <= baseSize {
+		trmmBase(upper, transL, L, B)
+		return nil
+	}
+	h := n / 2
+	l11 := L.View(0, 0, h, h)
+	l22 := L.View(h, h, n-h, n-h)
+	b1 := B.View(0, 0, h, B.Cols)
+	b2 := B.View(h, 0, n-h, B.Cols)
+	effUpper := upper != transL
+	if !effUpper {
+		// Row block 2 consumes row block 1's ORIGINAL values, so
+		// compute B2 first: B2 = L22·B2 + L21·B1.
+		if err := trmm(pool, o, upper, transL, l22, b2); err != nil {
+			return err
+		}
+		off := L.View(h, 0, n-h, h)
+		if upper {
+			off = L.View(0, h, h, n-h)
+		}
+		if err := gemm(pool, o, transL, false, 1, off, b1, 1, b2); err != nil {
+			return err
+		}
+		return trmm(pool, o, upper, transL, l11, b1)
+	}
+	// Effective upper: B1 = L11·B1 + L12·B2, compute B1 first.
+	if err := trmm(pool, o, upper, transL, l11, b1); err != nil {
+		return err
+	}
+	off := L.View(0, h, h, n-h)
+	if !upper {
+		off = L.View(h, 0, n-h, h)
+	}
+	if err := gemm(pool, o, transL, false, 1, off, b2, 1, b1); err != nil {
+		return err
+	}
+	return trmm(pool, o, upper, transL, l22, b2)
+}
+
+func trmmBase(upper, transL bool, L, B *matrix.Dense) {
+	n := L.Rows
+	at := func(i, j int) float64 {
+		if transL {
+			return L.At(j, i)
+		}
+		return L.At(i, j)
+	}
+	effUpper := upper != transL
+	for col := 0; col < B.Cols; col++ {
+		if !effUpper {
+			for i := n - 1; i >= 0; i-- {
+				s := 0.0
+				for k := 0; k <= i; k++ {
+					s += at(i, k) * B.At(k, col)
+				}
+				B.Set(i, col, s)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for k := i; k < n; k++ {
+					s += at(i, k) * B.At(k, col)
+				}
+				B.Set(i, col, s)
+			}
+		}
+	}
+}
+
+// Cholesky factors a symmetric positive-definite A (only the lower
+// triangle is read) into L·Lᵀ, returning lower-triangular L. This is
+// Gustavson's recursive blocking: L11 = chol(A11); L21 = A21·L11⁻ᵀ
+// (TRSM); A22 ← A22 − L21·L21ᵀ (SYRK); recurse on A22. Every flop
+// beyond the base case flows through the recursive-layout GEMM.
+func Cholesky(pool *sched.Pool, o core.Options, A *matrix.Dense) (*matrix.Dense, error) {
+	if A.Rows != A.Cols {
+		return nil, fmt.Errorf("blas3: Cholesky needs square input, got %dx%d", A.Rows, A.Cols)
+	}
+	L := matrix.New(A.Rows, A.Cols)
+	// Work on a copy of the lower triangle.
+	for j := 0; j < A.Cols; j++ {
+		for i := j; i < A.Rows; i++ {
+			L.Set(i, j, A.At(i, j))
+		}
+	}
+	if err := chol(pool, o, L); err != nil {
+		return nil, err
+	}
+	// Zero the strict upper triangle (scratch space during recursion).
+	for j := 1; j < L.Cols; j++ {
+		for i := 0; i < j; i++ {
+			L.Set(i, j, 0)
+		}
+	}
+	return L, nil
+}
+
+func chol(pool *sched.Pool, o core.Options, A *matrix.Dense) error {
+	n := A.Rows
+	if n <= baseSize {
+		return cholBase(A)
+	}
+	h := n / 2
+	a11 := A.View(0, 0, h, h)
+	a21 := A.View(h, 0, n-h, h)
+	a22 := A.View(h, h, n-h, n-h)
+	if err := chol(pool, o, a11); err != nil {
+		return err
+	}
+	// L21 = A21·L11⁻ᵀ: solve X·L11ᵀ = A21, i.e. L11·Xᵀ = A21ᵀ. Using
+	// the left-side TRSM on the transpose costs one transposition each
+	// way; acceptable at quadrant granularity.
+	a21t := a21.Transpose()
+	if err := trsm(pool, o, false, false, a11, a21t); err != nil {
+		return err
+	}
+	for i := 0; i < a21.Rows; i++ {
+		for j := 0; j < a21.Cols; j++ {
+			a21.Set(i, j, a21t.At(j, i))
+		}
+	}
+	// A22 ← A22 − L21·L21ᵀ (lower triangle suffices, but SYRK updates
+	// the full block; the upper scratch is zeroed at the end).
+	if err := syrk(pool, o, false, -1, a21, 1, a22); err != nil {
+		return err
+	}
+	return chol(pool, o, a22)
+}
+
+// cholBase is the direct Cholesky–Crout factorization of a small block.
+func cholBase(A *matrix.Dense) error {
+	n := A.Rows
+	for j := 0; j < n; j++ {
+		d := A.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= A.At(j, k) * A.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("blas3: matrix not positive definite (pivot %d: %g)", j, d)
+		}
+		d = math.Sqrt(d)
+		A.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := A.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= A.At(i, k) * A.At(j, k)
+			}
+			A.Set(i, j, s/d)
+		}
+	}
+	return nil
+}

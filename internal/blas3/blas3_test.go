@@ -1,0 +1,322 @@
+package blas3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+var testOpts = core.Options{Curve: layout.ZMorton, Alg: core.Standard}
+
+// spd builds a well-conditioned symmetric positive-definite matrix
+// AᵀA + n·I.
+func spd(n int, rng *rand.Rand) *matrix.Dense {
+	a := matrix.Random(n, n, rng)
+	s := matrix.New(n, n)
+	matrix.RefGEMM(true, false, 1, a, a, 0, s)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, s.At(i, i)+float64(n))
+	}
+	return s
+}
+
+// lowerTri builds a well-conditioned lower-triangular matrix.
+func lowerTri(n int, rng *rand.Rand) *matrix.Dense {
+	l := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			l.Set(i, j, rng.Float64()-0.5)
+		}
+		l.Set(j, j, 2+rng.Float64())
+	}
+	return l
+}
+
+func TestSYRKMatchesReference(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(1))
+	for _, trans := range []bool{false, true} {
+		for _, n := range []int{5, 64, 100, 150} {
+			k := 37
+			var A *matrix.Dense
+			if trans {
+				A = matrix.Random(k, n, rng)
+			} else {
+				A = matrix.Random(n, k, rng)
+			}
+			C := matrix.Random(n, n, rng)
+			// Symmetrize C so the mirrored copy is consistent with beta.
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					C.Set(j, i, C.At(i, j))
+				}
+			}
+			want := C.Clone()
+			matrix.RefGEMM(trans, !trans, 1.5, A, A, -0.5, want)
+			if err := SYRK(pool, testOpts, trans, 1.5, A, -0.5, C); err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(C, want, 1e-11) {
+				t.Errorf("trans=%v n=%d: SYRK wrong (max diff %g)", trans, n, matrix.MaxAbsDiff(C, want))
+			}
+		}
+	}
+}
+
+func TestSYRKResultSymmetric(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(2))
+	A := matrix.Random(130, 40, rng)
+	C := matrix.New(130, 130)
+	if err := SYRK(pool, testOpts, false, 1, A, 0, C); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(C, C.Transpose(), 1e-12) {
+		t.Fatal("SYRK result not symmetric")
+	}
+}
+
+func TestTRSMSolves(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(3))
+	for _, upper := range []bool{false, true} {
+		for _, transL := range []bool{false, true} {
+			for _, n := range []int{7, 64, 130, 200} {
+				L := lowerTri(n, rng)
+				if upper {
+					L = L.Transpose()
+				}
+				B := matrix.Random(n, 23, rng)
+				X := B.Clone()
+				if err := TRSM(pool, testOpts, upper, transL, 2, L, X); err != nil {
+					t.Fatal(err)
+				}
+				// Verify op(L)·X == 2·B.
+				check := matrix.New(n, 23)
+				matrix.RefGEMM(transL, false, 1, L, X, 0, check)
+				want := B.Clone()
+				want.Scale(2)
+				if !matrix.Equal(check, want, 1e-9) {
+					t.Errorf("upper=%v trans=%v n=%d: residual %g",
+						upper, transL, n, matrix.MaxAbsDiff(check, want))
+				}
+			}
+		}
+	}
+}
+
+func TestTRMMMatchesReference(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(4))
+	for _, upper := range []bool{false, true} {
+		for _, transL := range []bool{false, true} {
+			for _, n := range []int{9, 64, 140} {
+				full := lowerTri(n, rng)
+				if upper {
+					full = full.Transpose()
+				}
+				B := matrix.Random(n, 17, rng)
+				got := B.Clone()
+				if err := TRMM(pool, testOpts, upper, transL, -1, full, got); err != nil {
+					t.Fatal(err)
+				}
+				want := matrix.New(n, 17)
+				matrix.RefGEMM(transL, false, -1, full, B, 0, want)
+				if !matrix.Equal(got, want, 1e-10) {
+					t.Errorf("upper=%v trans=%v n=%d: TRMM wrong (max diff %g)",
+						upper, transL, n, matrix.MaxAbsDiff(got, want))
+				}
+			}
+		}
+	}
+}
+
+func TestTRMMTRSMInverse(t *testing.T) {
+	// TRSM must invert TRMM: X = L⁻¹·(L·B) == B.
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(5))
+	n := 150
+	L := lowerTri(n, rng)
+	B := matrix.Random(n, 11, rng)
+	X := B.Clone()
+	if err := TRMM(pool, testOpts, false, false, 1, L, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := TRSM(pool, testOpts, false, false, 1, L, X); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(X, B, 1e-10) {
+		t.Fatalf("TRSM∘TRMM != id (max diff %g)", matrix.MaxAbsDiff(X, B))
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{4, 64, 100, 200} {
+		A := spd(n, rng)
+		L, err := Cholesky(pool, testOpts, A)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// L must be lower triangular with positive diagonal.
+		for j := 0; j < n; j++ {
+			if L.At(j, j) <= 0 {
+				t.Fatalf("n=%d: non-positive diagonal at %d", n, j)
+			}
+			for i := 0; i < j; i++ {
+				if L.At(i, j) != 0 {
+					t.Fatalf("n=%d: upper triangle not zero at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		// L·Lᵀ must reconstruct A.
+		rec := matrix.New(n, n)
+		matrix.RefGEMM(false, true, 1, L, L, 0, rec)
+		if diff := matrix.MaxAbsDiff(rec, A); diff > 1e-9*float64(n) {
+			t.Errorf("n=%d: ‖L·Lᵀ − A‖ = %g", n, diff)
+		}
+	}
+}
+
+func TestCholeskyOnlyReadsLowerTriangle(t *testing.T) {
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(7))
+	A := spd(96, rng)
+	// Poison the strict upper triangle: the factorization must ignore it.
+	for j := 1; j < 96; j++ {
+		for i := 0; i < j; i++ {
+			A.Set(i, j, math.NaN())
+		}
+	}
+	L, err := Cholesky(pool, testOpts, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if L.HasNaN() {
+		t.Fatal("Cholesky read the upper triangle")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	A := matrix.Identity(80)
+	A.Set(40, 40, -1)
+	if _, err := Cholesky(pool, testOpts, A); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskySolveSystem(t *testing.T) {
+	// End-to-end: solve A·x = b via Cholesky + two triangular solves.
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(8))
+	n := 150
+	A := spd(n, rng)
+	b := matrix.Random(n, 3, rng)
+	L, err := Cholesky(pool, testOpts, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := b.Clone()
+	if err := TRSM(pool, testOpts, false, false, 1, L, x); err != nil { // L·y = b
+		t.Fatal(err)
+	}
+	if err := TRSM(pool, testOpts, false, true, 1, L, x); err != nil { // Lᵀ·x = y
+		t.Fatal(err)
+	}
+	// Residual check: A·x ≈ b.
+	res := b.Clone()
+	matrix.RefGEMM(false, false, -1, A, x, 1, res)
+	if res.MaxAbs() > 1e-8 {
+		t.Fatalf("solve residual %g", res.MaxAbs())
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	if err := SYRK(pool, testOpts, false, 1, matrix.New(4, 2), 0, matrix.New(3, 3)); err == nil {
+		t.Error("SYRK shape mismatch accepted")
+	}
+	if err := TRSM(pool, testOpts, false, false, 1, matrix.New(4, 3), matrix.New(4, 2)); err == nil {
+		t.Error("TRSM non-square factor accepted")
+	}
+	if err := TRMM(pool, testOpts, false, false, 1, matrix.New(4, 4), matrix.New(5, 2)); err == nil {
+		t.Error("TRMM dimension mismatch accepted")
+	}
+	if _, err := Cholesky(pool, testOpts, matrix.New(4, 5)); err == nil {
+		t.Error("Cholesky non-square accepted")
+	}
+}
+
+func TestLayoutIndependence(t *testing.T) {
+	// The BLAS-3 layer must produce identical results over every layout
+	// the multiply supports.
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(9))
+	A := spd(130, rng)
+	var ref *matrix.Dense
+	for _, cv := range []layout.Curve{layout.ColMajor, layout.ZMorton, layout.GrayMorton, layout.Hilbert} {
+		o := core.Options{Curve: cv, Alg: core.Strassen}
+		L, err := Cholesky(pool, o, A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = L
+		} else if !matrix.Equal(L, ref, 1e-9) {
+			t.Errorf("%v: Cholesky differs across layouts by %g", cv, matrix.MaxAbsDiff(L, ref))
+		}
+	}
+}
+
+func TestTRSMProperty(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		cols := 1 + rng.Intn(8)
+		L := lowerTri(n, rng)
+		B := matrix.Random(n, cols, rng)
+		X := B.Clone()
+		if err := TRSM(pool, testOpts, false, false, 1, L, X); err != nil {
+			return false
+		}
+		check := matrix.New(n, cols)
+		matrix.RefGEMM(false, false, 1, L, X, 0, check)
+		return matrix.Equal(check, B, 1e-8)
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCholesky256(b *testing.B) {
+	pool := sched.NewPool(0)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(1))
+	A := spd(256, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(pool, testOpts, A); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package cachesim is a software model of the memory system the paper's
+// experiments ran on. The paper measures execution time on a real Sun
+// Enterprise 3000 and *infers* memory-system causes — interference
+// misses from canonical layouts, false sharing between processors
+// writing the same cache block, TLB pressure from dilated access
+// patterns (Sections 1, 3, 5). We cannot reproduce the hardware, so this
+// package reproduces the causes directly: it simulates set-associative
+// write-back caches, a TLB, and an invalidation-based coherence protocol
+// with word-granularity false-sharing classification, driven by the
+// exact address streams the layout functions generate.
+//
+// The default geometry mirrors the UltraSPARC I machine of Section 5:
+// 16 KB direct-mapped L1 data cache with 32-byte blocks, 512 KB
+// direct-mapped external cache with 64-byte blocks, and a 64-entry TLB
+// over 8 KB pages.
+package cachesim
+
+import "fmt"
+
+// Stats counts the events of one cache or TLB.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	// Invalidations counts coherence invalidations received; a subset
+	// of them are classified as false sharing.
+	Invalidations      uint64
+	FalseInvalidations uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set access counter snapshot; the smallest value is
+	// the least recently used way.
+	lru uint64
+}
+
+// Cache is one level of a set-associative write-back, write-allocate
+// cache with LRU replacement. Misses propagate to the next level when
+// one is attached.
+type Cache struct {
+	Name      string
+	sets      int
+	ways      int
+	blockBits uint
+	lines     []line // sets × ways
+	clock     uint64
+	next      *Cache
+	Stats     Stats
+}
+
+// NewCache builds a cache of the given total size, associativity, and
+// block size (all in bytes; size and block must be powers of two).
+func NewCache(name string, size, ways, block int, next *Cache) *Cache {
+	if size <= 0 || ways <= 0 || block <= 0 || size%(ways*block) != 0 {
+		panic(fmt.Sprintf("cachesim: bad geometry size=%d ways=%d block=%d", size, ways, block))
+	}
+	sets := size / (ways * block)
+	if sets&(sets-1) != 0 || block&(block-1) != 0 {
+		panic("cachesim: sets and block size must be powers of two")
+	}
+	bb := uint(0)
+	for b := block; b > 1; b >>= 1 {
+		bb++
+	}
+	return &Cache{
+		Name:      name,
+		sets:      sets,
+		ways:      ways,
+		blockBits: bb,
+		lines:     make([]line, sets*ways),
+		next:      next,
+	}
+}
+
+// BlockBytes returns the cache's block size in bytes.
+func (c *Cache) BlockBytes() int { return 1 << c.blockBits }
+
+// set returns the slice of ways for an address's set.
+func (c *Cache) set(block uint64) []line {
+	s := int(block) & (c.sets - 1)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Access simulates one load or store of a byte address. It returns true
+// on hit (at this level).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.Stats.Accesses++
+	block := addr >> c.blockBits
+	ways := c.set(block)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == block {
+			ways[i].lru = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	c.Stats.Misses++
+	if c.next != nil {
+		c.next.Access(addr, write)
+	}
+	// Choose a victim: invalid way first, else LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid {
+		c.Stats.Evictions++
+		if ways[victim].dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	ways[victim] = line{tag: block, valid: true, dirty: write, lru: c.clock}
+	return false
+}
+
+// Invalidate drops a block if present, returning whether it was held.
+func (c *Cache) Invalidate(block uint64) bool {
+	ways := c.set(block)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == block {
+			ways[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.Stats = Stats{}
+}
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement over fixed-size pages.
+type TLB struct {
+	entries  int
+	pageBits uint
+	pages    []line
+	clock    uint64
+	Stats    Stats
+}
+
+// NewTLB builds a TLB with the given entry count and page size in bytes
+// (a power of two).
+func NewTLB(entries, pageSize int) *TLB {
+	if entries <= 0 || pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic("cachesim: bad TLB geometry")
+	}
+	pb := uint(0)
+	for p := pageSize; p > 1; p >>= 1 {
+		pb++
+	}
+	return &TLB{entries: entries, pageBits: pb, pages: make([]line, entries)}
+}
+
+// Access simulates one translation; returns true on hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.clock++
+	t.Stats.Accesses++
+	page := addr >> t.pageBits
+	victim := 0
+	for i := range t.pages {
+		if t.pages[i].valid && t.pages[i].tag == page {
+			t.pages[i].lru = t.clock
+			return true
+		}
+		if !t.pages[i].valid {
+			victim = i
+		} else if t.pages[victim].valid && t.pages[i].lru < t.pages[victim].lru {
+			victim = i
+		}
+	}
+	t.Stats.Misses++
+	if t.pages[victim].valid {
+		t.Stats.Evictions++
+	}
+	t.pages[victim] = line{tag: page, valid: true, lru: t.clock}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	for i := range t.pages {
+		t.pages[i] = line{}
+	}
+	t.clock = 0
+	t.Stats = Stats{}
+}

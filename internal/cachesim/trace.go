@@ -1,0 +1,231 @@
+package cachesim
+
+import (
+	"repro/internal/layout"
+)
+
+// MatrixAddr computes element byte addresses for one matrix under a
+// layout: canonical column-major with a leading dimension, or the tiled
+// recursive layout of equation (3).
+type MatrixAddr struct {
+	Base uint64
+	// LD > 0 selects canonical column-major storage with this leading
+	// dimension; LD == 0 selects tiled recursive storage.
+	LD int
+	// Tiled parameters (LD == 0).
+	Curve  layout.Curve
+	D      uint
+	TR, TC int
+}
+
+// Addr returns the byte address of element (i, j).
+func (m MatrixAddr) Addr(i, j int) uint64 {
+	if m.LD > 0 {
+		return m.Base + uint64(j*m.LD+i)*8
+	}
+	s := m.Curve.S(uint32(i/m.TR), uint32(j/m.TC), m.D)
+	off := int(s)*m.TR*m.TC + (j%m.TC)*m.TR + i%m.TR
+	return m.Base + uint64(off)*8
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	L1, L2, TLB Stats
+	Accesses    uint64
+}
+
+// MatmulSim describes one simulated standard-algorithm matrix
+// multiplication: n×n matrices of t×t tiles under a layout, executed by
+// Procs processors that each own one top-level C quadrant subtree (the
+// work division the parallel recursion produces).
+type MatmulSim struct {
+	N, T  int
+	Curve layout.Curve // ColMajor = canonical baseline
+	Procs int
+	Cfg   Config
+}
+
+// pageAlign rounds a size up to a page boundary so the three matrices
+// start on distinct pages, as separate allocations would.
+func pageAlign(bytes uint64, page int) uint64 {
+	p := uint64(page)
+	return (bytes + p - 1) / p * p
+}
+
+// addresser builds the MatrixAddr for one operand at base.
+func (ms MatmulSim) addresser(base uint64, d uint) MatrixAddr {
+	if ms.Curve == layout.ColMajor || ms.Curve == layout.RowMajor {
+		return MatrixAddr{Base: base, LD: ms.N}
+	}
+	return MatrixAddr{Base: base, Curve: ms.Curve, D: d, TR: ms.T, TC: ms.T}
+}
+
+// Run drives the full leaf-level address stream of the standard
+// algorithm through a fresh simulated system and returns the aggregate
+// statistics. The leaf order and the per-processor assignment follow
+// the recursive control structure: tile products execute in Z-order of
+// (ti, tj) with the k-tiles innermost, and the processor owning a
+// product is the top-level quadrant of its C tile, so quadrant borders
+// exhibit exactly the sharing the real parallel execution would.
+func (ms MatmulSim) Run() Result {
+	if ms.N%ms.T != 0 {
+		panic("cachesim: N must be a multiple of T")
+	}
+	tiles := ms.N / ms.T
+	d := uint(0)
+	for 1<<d < tiles {
+		d++
+	}
+	if 1<<d != tiles {
+		panic("cachesim: N/T must be a power of two")
+	}
+	procs := ms.Procs
+	if procs <= 0 {
+		procs = 1
+	}
+	sys := NewSystem(procs, ms.Cfg)
+
+	bytes := pageAlign(uint64(ms.N)*uint64(ms.N)*8, ms.Cfg.PageSize)
+	a := ms.addresser(0x0, d)
+	b := ms.addresser(bytes, d)
+	c := ms.addresser(2*bytes, d)
+
+	// Processor assignment: owner of the top-level C quadrant.
+	owner := func(ti, tj int) int {
+		if d == 0 || procs == 1 {
+			return 0
+		}
+		q := (ti>>(d-1))<<1 | tj>>(d-1)
+		return q % procs
+	}
+
+	var accesses uint64
+	for s := 0; s < tiles*tiles; s++ {
+		ti, tj := layout.ZMorton.SInverse(uint64(s), d)
+		p := owner(int(ti), int(tj))
+		i0, j0 := int(ti)*ms.T, int(tj)*ms.T
+		for tk := 0; tk < tiles; tk++ {
+			k0 := tk * ms.T
+			// Leaf kernel access pattern (j, i, k) as in Unrolled4.
+			for j := 0; j < ms.T; j++ {
+				for i := 0; i < ms.T; i++ {
+					for k := 0; k < ms.T; k++ {
+						sys.Access(p, a.Addr(i0+i, k0+k), false)
+						sys.Access(p, b.Addr(k0+k, j0+j), false)
+						accesses += 2
+					}
+					sys.Access(p, c.Addr(i0+i, j0+j), false)
+					sys.Access(p, c.Addr(i0+i, j0+j), true)
+					accesses += 2
+				}
+			}
+		}
+	}
+	l1, l2, tlb := sys.Totals()
+	return Result{L1: l1, L2: l2, TLB: tlb, Accesses: accesses}
+}
+
+// LeafSim measures a single repeated leaf product — the Lam/Rothberg/
+// Wolf self-interference scenario (Section 1): one t×t tile of a matrix
+// with leading dimension ld, accessed repeatedly. For a contiguous tile
+// (ld == t) there are no self-interference misses once the tile is
+// resident; for a tile embedded in a large canonical matrix (ld == n)
+// the tile's columns can conflict with each other in a direct-mapped
+// cache, depending sensitively on n.
+type LeafSim struct {
+	T, LD   int
+	Repeats int
+	Cfg     Config
+}
+
+// Run returns the statistics of the repeated tile walk.
+func (ls LeafSim) Run() Result {
+	sys := NewSystem(1, ls.Cfg)
+	m := MatrixAddr{Base: 0, LD: ls.LD}
+	var accesses uint64
+	for r := 0; r < ls.Repeats; r++ {
+		for j := 0; j < ls.T; j++ {
+			for i := 0; i < ls.T; i++ {
+				sys.Access(0, m.Addr(i, j), false)
+				accesses++
+			}
+		}
+	}
+	l1, l2, tlb := sys.Totals()
+	return Result{L1: l1, L2: l2, TLB: tlb, Accesses: accesses}
+}
+
+// AdditionSim measures the streaming quadrant additions of the fast
+// algorithms under a layout: dst = src1 + src2 over one quadrant. Under
+// recursive layouts all three regions are contiguous streams; under the
+// canonical layout each is a strided column walk of a (n/2)×(n/2)
+// quadrant inside an n×n matrix.
+type AdditionSim struct {
+	N     int // full matrix extent
+	T     int
+	Curve layout.Curve
+	Cfg   Config
+}
+
+// Run streams one NW-quadrant addition and returns the statistics.
+func (as AdditionSim) Run() Result {
+	tiles := as.N / as.T
+	d := uint(0)
+	for 1<<d < tiles {
+		d++
+	}
+	sys := NewSystem(1, as.Cfg)
+	bytes := pageAlign(uint64(as.N)*uint64(as.N)*8, as.Cfg.PageSize)
+	ms := MatmulSim{N: as.N, T: as.T, Curve: as.Curve}
+	a := ms.addresser(0, d)
+	b := ms.addresser(bytes, d)
+	c := ms.addresser(2*bytes, d)
+	half := as.N / 2
+	var accesses uint64
+	for j := 0; j < half; j++ {
+		for i := 0; i < half; i++ {
+			sys.Access(0, a.Addr(i, j), false)
+			sys.Access(0, b.Addr(i+half, j+half), false)
+			sys.Access(0, c.Addr(i, j), true)
+			accesses += 3
+		}
+	}
+	l1, l2, tlb := sys.Totals()
+	return Result{L1: l1, L2: l2, TLB: tlb, Accesses: accesses}
+}
+
+// RowWalkSim measures the dilation effect of Section 3 on the TLB: a
+// row-major walk over a column-major matrix touches a new page every
+// element once the column stride exceeds the page size, while the
+// recursive layouts keep most row-neighbors within the same tile and
+// page. This is the paper's "reducing the effectiveness of translation
+// lookaside buffers (TLBs) for large matrix sizes".
+type RowWalkSim struct {
+	N     int
+	T     int
+	Curve layout.Curve
+	Rows  int // how many leading rows to walk
+	Cfg   Config
+}
+
+// Run walks the first Rows rows element by element and returns the
+// statistics.
+func (rw RowWalkSim) Run() Result {
+	tiles := rw.N / rw.T
+	d := uint(0)
+	for 1<<d < tiles {
+		d++
+	}
+	sys := NewSystem(1, rw.Cfg)
+	ms := MatmulSim{N: rw.N, T: rw.T, Curve: rw.Curve}
+	m := ms.addresser(0, d)
+	var accesses uint64
+	for i := 0; i < rw.Rows; i++ {
+		for j := 0; j < rw.N; j++ {
+			sys.Access(0, m.Addr(i, j), false)
+			accesses++
+		}
+	}
+	l1, l2, tlb := sys.Totals()
+	return Result{L1: l1, L2: l2, TLB: tlb, Accesses: accesses}
+}

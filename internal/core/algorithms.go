@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/leaf"
+	"repro/internal/sched"
+)
+
+// Alg identifies one of the recursive multiplication algorithms of
+// Section 2 of the paper.
+type Alg uint8
+
+const (
+	// Standard is the O(n³) algorithm in its accumulate form: two
+	// rounds of four independent quadrant products per level, with no
+	// temporary storage. Leaf products read and write the original
+	// (converted) matrices — the property Section 5.1 uses to explain
+	// its memory behavior.
+	Standard Alg = iota
+	// Standard8 is the O(n³) algorithm exactly as written in
+	// Figure 1(a): all eight quadrant products spawned at once into
+	// quadrant-sized temporaries P1..P8, followed by post-additions.
+	// It trades temporary storage for a shorter critical path.
+	Standard8
+	// Strassen is Strassen's algorithm (Figure 1(b)): 7 recursive
+	// products, 18 additions/subtractions.
+	Strassen
+	// Winograd is Winograd's variant (Figure 1(c)): 7 recursive
+	// products, 15 additions/subtractions — the minimum possible for
+	// quadrant-based recursion — at the cost of common-subexpression
+	// chains with worse algorithmic locality.
+	Winograd
+	// StrassenLowMem is the space-conserving sequential Strassen variant
+	// Section 5 mentions: pre- and post-additions interspersed with the
+	// recursive calls, reusing three scratch quadrants per level. It
+	// exposes no parallelism.
+	StrassenLowMem
+	numAlgs
+)
+
+var algNames = [numAlgs]string{"standard", "standard8", "strassen", "winograd", "strassen-lowmem"}
+
+func (a Alg) String() string {
+	if int(a) < len(algNames) {
+		return algNames[a]
+	}
+	return fmt.Sprintf("Alg(%d)", uint8(a))
+}
+
+// Algs lists the algorithms in paper order.
+var Algs = []Alg{Standard, Standard8, Strassen, Winograd, StrassenLowMem}
+
+// ParseAlg resolves an algorithm name.
+func ParseAlg(s string) (Alg, error) {
+	for i, n := range algNames {
+		if s == n {
+			return Alg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// exec carries the per-call execution parameters through the recursion.
+type exec struct {
+	kern leaf.Kernel
+	// serialCutoff: at or below this many tiles per side the recursion
+	// stops spawning tasks and runs in-frame. 1 disables all spawning.
+	serialCutoff int
+	// fastCutoff: at or below this many tiles per side the fast
+	// algorithms switch to the standard recursion. 1 recurses the fast
+	// algorithm all the way to single tiles, as the paper does.
+	fastCutoff int
+}
+
+// leafMul runs the leaf kernel on a single tile trio and accounts its
+// flops toward the work/span instrumentation.
+func (e *exec) leafMul(c *sched.Ctx, C, A, B Mat) {
+	m, n, k := C.tr, C.tc, A.tc
+	e.kern(m, n, k, A.data, A.leafLD(), B.data, B.leafLD(), C.data, C.leafLD())
+	c.Account(2 * float64(m) * float64(n) * float64(k))
+}
+
+// accountAdd records the work of one quadrant-sized element-wise pass.
+func accountAdd(c *sched.Ctx, m Mat) {
+	c.Account(float64(m.elems()))
+}
+
+// mul dispatches C += A·B to the requested algorithm.
+func (e *exec) mul(c *sched.Ctx, alg Alg, C, A, B Mat) {
+	switch alg {
+	case Standard:
+		e.std(c, C, A, B)
+	case Standard8:
+		e.std8(c, C, A, B)
+	case Strassen:
+		e.strassen(c, C, A, B)
+	case Winograd:
+		e.winograd(c, C, A, B)
+	case StrassenLowMem:
+		e.strassenLowMem(c, C, A, B)
+	default:
+		panic("core: invalid algorithm")
+	}
+}
+
+// par reports whether this level should spawn parallel tasks.
+func (e *exec) par(tiles int) bool {
+	return tiles > e.serialCutoff
+}
+
+// std is the accumulate form of the standard algorithm: two rounds of
+// four independent quadrant products. Within a round the four products
+// write disjoint quadrants of C, so they run in parallel; the rounds are
+// separated by a sync because both rounds write every C quadrant.
+func (e *exec) std(c *sched.Ctx, C, A, B Mat) {
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
+	}
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+	if e.par(C.tiles) {
+		c.Parallel(
+			func(c *sched.Ctx) { e.std(c, c11, a11, b11) },
+			func(c *sched.Ctx) { e.std(c, c12, a11, b12) },
+			func(c *sched.Ctx) { e.std(c, c21, a21, b11) },
+			func(c *sched.Ctx) { e.std(c, c22, a21, b12) },
+		)
+		c.Parallel(
+			func(c *sched.Ctx) { e.std(c, c11, a12, b21) },
+			func(c *sched.Ctx) { e.std(c, c12, a12, b22) },
+			func(c *sched.Ctx) { e.std(c, c21, a22, b21) },
+			func(c *sched.Ctx) { e.std(c, c22, a22, b22) },
+		)
+		return
+	}
+	e.std(c, c11, a11, b11)
+	e.std(c, c12, a11, b12)
+	e.std(c, c21, a21, b11)
+	e.std(c, c22, a21, b12)
+	e.std(c, c11, a12, b21)
+	e.std(c, c12, a12, b22)
+	e.std(c, c21, a22, b21)
+	e.std(c, c22, a22, b22)
+}
+
+// std8 is the Figure 1(a) form: eight products into temporaries P1..P8
+// spawned together, then four parallel post-addition pairs. The critical
+// path recurrence is T∞(s) = T∞(s/2) + O(adds), which is what gives the
+// standard algorithm its O(lg² n) critical path in the paper.
+func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
+	}
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+	var p [8]Mat
+	for i := range p {
+		p[i] = newTemp(c11)
+	}
+	mults := []func(*sched.Ctx){
+		func(c *sched.Ctx) { e.std8(c, p[0], a11, b11) },
+		func(c *sched.Ctx) { e.std8(c, p[1], a12, b21) },
+		func(c *sched.Ctx) { e.std8(c, p[2], a21, b11) },
+		func(c *sched.Ctx) { e.std8(c, p[3], a22, b21) },
+		func(c *sched.Ctx) { e.std8(c, p[4], a11, b12) },
+		func(c *sched.Ctx) { e.std8(c, p[5], a12, b22) },
+		func(c *sched.Ctx) { e.std8(c, p[6], a21, b12) },
+		func(c *sched.Ctx) { e.std8(c, p[7], a22, b22) },
+	}
+	post := []func(*sched.Ctx){
+		func(c *sched.Ctx) {
+			matEW2(c11, p[0], vAcc)
+			matEW2(c11, p[1], vAcc)
+			accountAdd(c, c11)
+			accountAdd(c, c11)
+		},
+		func(c *sched.Ctx) {
+			matEW2(c21, p[2], vAcc)
+			matEW2(c21, p[3], vAcc)
+			accountAdd(c, c21)
+			accountAdd(c, c21)
+		},
+		func(c *sched.Ctx) {
+			matEW2(c12, p[4], vAcc)
+			matEW2(c12, p[5], vAcc)
+			accountAdd(c, c12)
+			accountAdd(c, c12)
+		},
+		func(c *sched.Ctx) {
+			matEW2(c22, p[6], vAcc)
+			matEW2(c22, p[7], vAcc)
+			accountAdd(c, c22)
+			accountAdd(c, c22)
+		},
+	}
+	if e.par(C.tiles) {
+		c.Parallel(mults...)
+		c.Parallel(post...)
+		return
+	}
+	for _, f := range mults {
+		f(c)
+	}
+	for _, f := range post {
+		f(c)
+	}
+}
+
+// strassen implements Figure 1(b). Note: the classical identities
+// require S3 = A11 + A12 with C11 = P1 + P4 − P5 + P7 (the transcription
+// of the paper we reproduce from prints S3 with a minus sign, which is
+// inconsistent with its own post-additions; the algebra and the tests
+// pin the classical form).
+func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
+	}
+	if C.tiles <= e.fastCutoff {
+		e.std(c, C, A, B)
+		return
+	}
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+
+	s1, s2, s3, s4, s5 := newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11)
+	t1, t2, t3, t4, t5 := newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11)
+	pre := []func(*sched.Ctx){
+		func(c *sched.Ctx) { matEW3(s1, a11, a22, vAdd); accountAdd(c, s1) },
+		func(c *sched.Ctx) { matEW3(s2, a21, a22, vAdd); accountAdd(c, s2) },
+		func(c *sched.Ctx) { matEW3(s3, a11, a12, vAdd); accountAdd(c, s3) },
+		func(c *sched.Ctx) { matEW3(s4, a21, a11, vSub); accountAdd(c, s4) },
+		func(c *sched.Ctx) { matEW3(s5, a12, a22, vSub); accountAdd(c, s5) },
+		func(c *sched.Ctx) { matEW3(t1, b11, b22, vAdd); accountAdd(c, t1) },
+		func(c *sched.Ctx) { matEW3(t2, b12, b22, vSub); accountAdd(c, t2) },
+		func(c *sched.Ctx) { matEW3(t3, b21, b11, vSub); accountAdd(c, t3) },
+		func(c *sched.Ctx) { matEW3(t4, b11, b12, vAdd); accountAdd(c, t4) },
+		func(c *sched.Ctx) { matEW3(t5, b21, b22, vAdd); accountAdd(c, t5) },
+	}
+	var p [7]Mat
+	for i := range p {
+		p[i] = newTemp(c11)
+	}
+	mults := []func(*sched.Ctx){
+		func(c *sched.Ctx) { e.strassen(c, p[0], s1, t1) },
+		func(c *sched.Ctx) { e.strassen(c, p[1], s2, b11) },
+		func(c *sched.Ctx) { e.strassen(c, p[2], a11, t2) },
+		func(c *sched.Ctx) { e.strassen(c, p[3], a22, t3) },
+		func(c *sched.Ctx) { e.strassen(c, p[4], s3, b22) },
+		func(c *sched.Ctx) { e.strassen(c, p[5], s4, t4) },
+		func(c *sched.Ctx) { e.strassen(c, p[6], s5, t5) },
+	}
+	post := []func(*sched.Ctx){
+		func(c *sched.Ctx) { // C11 += P1 + P4 − P5 + P7
+			matEW2(c11, p[0], vAcc)
+			matEW2(c11, p[3], vAcc)
+			matEW2(c11, p[4], vDec)
+			matEW2(c11, p[6], vAcc)
+			for i := 0; i < 4; i++ {
+				accountAdd(c, c11)
+			}
+		},
+		func(c *sched.Ctx) { // C21 += P2 + P4
+			matEW2(c21, p[1], vAcc)
+			matEW2(c21, p[3], vAcc)
+			accountAdd(c, c21)
+			accountAdd(c, c21)
+		},
+		func(c *sched.Ctx) { // C12 += P3 + P5
+			matEW2(c12, p[2], vAcc)
+			matEW2(c12, p[4], vAcc)
+			accountAdd(c, c12)
+			accountAdd(c, c12)
+		},
+		func(c *sched.Ctx) { // C22 += P1 + P3 − P2 + P6
+			matEW2(c22, p[0], vAcc)
+			matEW2(c22, p[2], vAcc)
+			matEW2(c22, p[1], vDec)
+			matEW2(c22, p[5], vAcc)
+			for i := 0; i < 4; i++ {
+				accountAdd(c, c22)
+			}
+		},
+	}
+	if e.par(C.tiles) {
+		c.Parallel(pre...)
+		c.Parallel(mults...)
+		c.Parallel(post...)
+		return
+	}
+	for _, f := range pre {
+		f(c)
+	}
+	for _, f := range mults {
+		f(c)
+	}
+	for _, f := range post {
+		f(c)
+	}
+}
+
+// winograd implements Figure 1(c): seven products with common
+// subexpressions S2 = S1 − A11, S4 = A12 − S2, T2 = B22 − T1,
+// T4 = B21 − T2, and the U-chain of post-additions. The shared chains
+// force dependencies among the pre-additions (grouped into four
+// independent chains) and among the post-additions.
+func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
+	}
+	if C.tiles <= e.fastCutoff {
+		e.std(c, C, A, B)
+		return
+	}
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+
+	s1, s2, s3, s4 := newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11)
+	t1, t2, t3, t4 := newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11)
+	pre := []func(*sched.Ctx){
+		func(c *sched.Ctx) { // chain S1 → S2 → S4
+			matEW3(s1, a21, a22, vAdd)
+			matEW3(s2, s1, a11, vSub)
+			matEW3(s4, a12, s2, vSub)
+			for i := 0; i < 3; i++ {
+				accountAdd(c, s1)
+			}
+		},
+		func(c *sched.Ctx) { matEW3(s3, a11, a21, vSub); accountAdd(c, s3) },
+		func(c *sched.Ctx) { // chain T1 → T2 → T4
+			matEW3(t1, b12, b11, vSub)
+			matEW3(t2, b22, t1, vSub)
+			matEW3(t4, b21, t2, vSub)
+			for i := 0; i < 3; i++ {
+				accountAdd(c, t1)
+			}
+		},
+		func(c *sched.Ctx) { matEW3(t3, b22, b12, vSub); accountAdd(c, t3) },
+	}
+	var p [7]Mat
+	for i := range p {
+		p[i] = newTemp(c11)
+	}
+	mults := []func(*sched.Ctx){
+		func(c *sched.Ctx) { e.winograd(c, p[0], a11, b11) },
+		func(c *sched.Ctx) { e.winograd(c, p[1], a12, b21) },
+		func(c *sched.Ctx) { e.winograd(c, p[2], s1, t1) },
+		func(c *sched.Ctx) { e.winograd(c, p[3], s2, t2) },
+		func(c *sched.Ctx) { e.winograd(c, p[4], s3, t3) },
+		func(c *sched.Ctx) { e.winograd(c, p[5], s4, b22) },
+		func(c *sched.Ctx) { e.winograd(c, p[6], a22, t4) },
+	}
+	if e.par(C.tiles) {
+		c.Parallel(pre...)
+		c.Parallel(mults...)
+	} else {
+		for _, f := range pre {
+			f(c)
+		}
+		for _, f := range mults {
+			f(c)
+		}
+	}
+	// Post-additions (U-chain). U2 and U3 are genuinely shared, so this
+	// stage is sequential apart from the independent C11 pair — the
+	// worse algorithmic locality the paper attributes to Winograd.
+	u2 := newTemp(c11)
+	matEW3(u2, p[0], p[3], vAdd) // U2 = P1 + P4
+	u6 := p[3]                   // reuse P4's storage
+	matEW3(u6, u2, p[2], vAdd)   // U6 = U2 + P3
+	matEW2(u2, p[4], vAcc)       // U3 = U2 + P5 (in place)
+	matEW2(c11, p[0], vAcc)      // C11 += P1 + P2
+	matEW2(c11, p[1], vAcc)
+	matEW2(c21, u2, vAcc) // C21 += U3 + P7
+	matEW2(c21, p[6], vAcc)
+	matEW2(c22, u2, vAcc) // C22 += U3 + P3
+	matEW2(c22, p[2], vAcc)
+	matEW2(c12, u6, vAcc) // C12 += U6 + P6
+	matEW2(c12, p[5], vAcc)
+	for i := 0; i < 11; i++ {
+		accountAdd(c, c11)
+	}
+}

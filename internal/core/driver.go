@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/layout"
+	"repro/internal/leaf"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/tile"
+)
+
+// Options selects the algorithm, layout, kernel, and tuning knobs for a
+// GEMM call. The zero value requests the standard algorithm on the
+// column-major layout with the paper's default leaf kernel and tile
+// configuration.
+type Options struct {
+	// Curve is the array layout. ColMajor runs the baseline; the five
+	// recursive curves run equation (3) layouts. RowMajor is rejected
+	// (the paper's multiplication experiments do not use it).
+	Curve layout.Curve
+	// Alg is the multiplication algorithm.
+	Alg Alg
+	// Kernel is the leaf kernel; nil selects leaf.Default (the paper's
+	// four-way-unrolled routine).
+	Kernel leaf.Kernel
+	// Tile is the tile-size configuration; the zero value selects
+	// tile.DefaultConfig.
+	Tile tile.Config
+	// ForceTile, when positive, bypasses tile selection and forces
+	// square tiles of exactly this size in every dimension — the knob
+	// behind the Figure 4 depth-of-recursion experiment (ForceTile=1
+	// reproduces Frens and Wise's element-level layout).
+	ForceTile int
+	// SerialCutoff is the quadrant size (tiles per side) at or below
+	// which the recursion stops spawning parallel tasks; 0 selects the
+	// default of 4. Set 1 to spawn at every level like the Cilk code.
+	SerialCutoff int
+	// FastCutoff is the quadrant size (tiles per side) at or below
+	// which Strassen/Winograd fall back to the standard recursion;
+	// 0 selects 1 (recurse the fast algorithm to single tiles, as the
+	// paper does).
+	FastCutoff int
+	// DisableSplit turns off the wide/lean submatrix decomposition of
+	// Figure 3, forcing a single (possibly heavily padded) tiling.
+	DisableSplit bool
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Kernel == nil {
+		v.Kernel = leaf.Default
+	}
+	if v.Tile == (tile.Config{}) {
+		v.Tile = tile.DefaultConfig
+	}
+	if v.SerialCutoff <= 0 {
+		v.SerialCutoff = 4
+	}
+	if v.FastCutoff <= 0 {
+		v.FastCutoff = 1
+	}
+	return v
+}
+
+// Stats reports what a GEMM call did: conversion and compute wall times
+// (the honest cost accounting the paper calls for), the accounted
+// work/span of the computation DAG, and the tiling actually used.
+type Stats struct {
+	ConvertIn  time.Duration
+	Compute    time.Duration
+	ConvertOut time.Duration
+	// Work and Span are the accounted flop totals of the task DAG;
+	// Work/Span estimates available parallelism as Cilk's critical-path
+	// instrumentation did.
+	Work, Span float64
+	// Depth and tile sizes of the (first) block multiplication.
+	Depth               uint
+	TileM, TileK, TileN int
+	PaddedM, PaddedK, PaddedN int
+	// Blocks counts the sub-multiplications after wide/lean splitting.
+	Blocks int
+}
+
+// Total returns the end-to-end wall time.
+func (s *Stats) Total() time.Duration {
+	return s.ConvertIn + s.Compute + s.ConvertOut
+}
+
+// Parallelism returns work/span.
+func (s *Stats) Parallelism() float64 {
+	return sched.Parallelism(s.Work, s.Span)
+}
+
+// GEMM computes C ← α·op(A)·op(B) + β·C with the selected algorithm and
+// layout, following the Level 3 BLAS dgemm calling convention of
+// Section 2.1: A, B, C are column-major with arbitrary leading
+// dimensions, and op(X) is X or Xᵀ. Internally it converts the operands
+// to the requested layout (padding per Section 4, splitting wide/lean
+// shapes per Figure 3), runs the parallel recursive multiplication on
+// the pool, and converts the result back.
+//
+// pool may be nil, in which case a transient pool with one worker per
+// CPU is used.
+func GEMM(pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
+	A, B *matrix.Dense, beta float64, C *matrix.Dense) (*Stats, error) {
+
+	o := opts.withDefaults()
+	if o.Curve == layout.RowMajor {
+		return nil, fmt.Errorf("core: the row-major layout is not supported by the multiplication driver")
+	}
+	m, k := A.Rows, A.Cols
+	if transA {
+		m, k = k, m
+	}
+	kb, n := B.Rows, B.Cols
+	if transB {
+		kb, n = n, kb
+	}
+	if kb != k {
+		return nil, fmt.Errorf("core: inner dimensions disagree: op(A) is %dx%d, op(B) is %dx%d", m, k, kb, n)
+	}
+	if C.Rows != m || C.Cols != n {
+		return nil, fmt.Errorf("core: C is %dx%d, want %dx%d", C.Rows, C.Cols, m, n)
+	}
+	if pool == nil {
+		p := sched.NewPool(0)
+		defer p.Close()
+		pool = p
+	}
+
+	// β scaling happens once, up front, on the logical C; every block
+	// product then accumulates α·A_ij·B_jl into it.
+	C.Scale(beta)
+	if alpha == 0 || m == 0 || n == 0 {
+		return &Stats{}, nil
+	}
+	if k == 0 {
+		return &Stats{}, nil
+	}
+
+	stats := &Stats{}
+	ms := []tile.Seg{{Off: 0, Len: m}}
+	ks := []tile.Seg{{Off: 0, Len: k}}
+	ns := []tile.Seg{{Off: 0, Len: n}}
+	if !o.DisableSplit && o.ForceTile == 0 {
+		ms, ks, ns = o.Tile.SplitDims(m, k, n)
+	}
+	first := true
+	for _, sm := range ms {
+		for _, sn := range ns {
+			for _, sk := range ks {
+				av := opView(A, transA, sm, sk)
+				bv := opView(B, transB, sk, sn)
+				cv := C.View(sm.Off, sn.Off, sm.Len, sn.Len)
+				if err := blockGEMM(pool, o, stats, first, transA, transB, alpha, av, bv, cv); err != nil {
+					return nil, err
+				}
+				first = false
+				stats.Blocks++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// opView returns the view of X whose op() is the (rows, cols) segment
+// pair: when trans is set the roles of the segments swap because the
+// stored matrix is the transpose of the logical operand.
+func opView(X *matrix.Dense, trans bool, r, c tile.Seg) *matrix.Dense {
+	if trans {
+		return X.View(c.Off, r.Off, c.Len, r.Len)
+	}
+	return X.View(r.Off, c.Off, r.Len, c.Len)
+}
+
+// choose determines depth and tile sizes for one block multiplication.
+func choose(o Options, m, k, n int) (d uint, tm, tk, tn int) {
+	if o.ForceTile > 0 {
+		t := o.ForceTile
+		d = 0
+		for _, dim := range []int{m, k, n} {
+			need := uint(0)
+			for (t << need) < dim {
+				need++
+			}
+			if need > d {
+				d = need
+			}
+		}
+		return d, t, t, t
+	}
+	ch := o.Tile.Pick(m, k, n)
+	return ch.D, ch.Tiles[0], ch.Tiles[1], ch.Tiles[2]
+}
+
+// blockGEMM multiplies one squat block: Cv += alpha·op(Av)·op(Bv), with
+// beta already applied to C by the caller.
+func blockGEMM(pool *sched.Pool, o Options, stats *Stats, record bool,
+	transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
+
+	m, n := Cv.Rows, Cv.Cols
+	k := Av.Cols
+	if transA {
+		k = Av.Rows
+	}
+	d, tm, tk, tn := choose(o, m, k, n)
+	if record {
+		stats.Depth = d
+		stats.TileM, stats.TileK, stats.TileN = tm, tk, tn
+		stats.PaddedM, stats.PaddedK, stats.PaddedN = tm<<d, tk<<d, tn<<d
+	}
+	e := &exec{kern: o.Kernel, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+
+	if o.Curve == layout.ColMajor {
+		return blockCanonical(pool, o, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+	}
+	return blockRecursive(pool, o, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+}
+
+func blockRecursive(pool *sched.Pool, o Options, e *exec, stats *Stats,
+	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
+
+	opDims := func(x *matrix.Dense, trans bool) (int, int) {
+		if trans {
+			return x.Cols, x.Rows
+		}
+		return x.Rows, x.Cols
+	}
+	t0 := time.Now()
+	ar, ac := opDims(Av, transA)
+	ta := NewTiled(o.Curve, d, tm, tk, ar, ac)
+	ta.Pack(pool, Av, transA, alpha)
+	br, bc := opDims(Bv, transB)
+	tb := NewTiled(o.Curve, d, tk, tn, br, bc)
+	tb.Pack(pool, Bv, transB, 1)
+	tc := NewTiled(o.Curve, d, tm, tn, Cv.Rows, Cv.Cols)
+	tc.Pack(pool, Cv, false, 1)
+	stats.ConvertIn += time.Since(t0)
+
+	t1 := time.Now()
+	cm, am, bm := tc.Mat(), ta.Mat(), tb.Mat()
+	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })
+	stats.Compute += time.Since(t1)
+	stats.Work += work
+	if span > stats.Span {
+		stats.Span = span
+	}
+
+	t2 := time.Now()
+	tc.Unpack(pool, Cv)
+	stats.ConvertOut += time.Since(t2)
+	return nil
+}
+
+func blockCanonical(pool *sched.Pool, o Options, e *exec, stats *Stats,
+	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
+
+	mp, kp, np := tm<<d, tk<<d, tn<<d
+	t0 := time.Now()
+	ap := matrix.New(mp, kp)
+	packPadded(pool, ap, Av, transA, alpha)
+	bp := matrix.New(kp, np)
+	packPadded(pool, bp, Bv, transB, 1)
+	cp := matrix.New(mp, np)
+	packPadded(pool, cp, Cv, false, 1)
+	stats.ConvertIn += time.Since(t0)
+
+	mk := func(x *matrix.Dense, tr, tc int) Mat {
+		return Mat{data: x.Data, tiles: 1 << d, tr: tr, tc: tc, ld: x.Stride, curve: layout.ColMajor}
+	}
+	cm, am, bm := mk(cp, tm, tn), mk(ap, tm, tk), mk(bp, tk, tn)
+	t1 := time.Now()
+	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })
+	stats.Compute += time.Since(t1)
+	stats.Work += work
+	if span > stats.Span {
+		stats.Span = span
+	}
+
+	t2 := time.Now()
+	unpackPadded(pool, Cv, cp)
+	stats.ConvertOut += time.Since(t2)
+	return nil
+}
+
+// MulTiled runs C += A·B directly on pre-converted tiled operands,
+// bypassing conversion — the entry point benchmarks use to time the
+// multiplication alone. The three operands must share curve and depth,
+// with conforming tile shapes.
+func MulTiled(pool *sched.Pool, opts Options, C, A, B *Tiled) (*Stats, error) {
+	o := opts.withDefaults()
+	if A.Curve != C.Curve || B.Curve != C.Curve {
+		return nil, fmt.Errorf("core: curve mismatch")
+	}
+	if A.D != C.D || B.D != C.D {
+		return nil, fmt.Errorf("core: depth mismatch")
+	}
+	if C.TR != A.TR || A.TC != B.TR || B.TC != C.TC {
+		return nil, fmt.Errorf("core: tile shapes do not conform: C %dx%d, A %dx%d, B %dx%d",
+			C.TR, C.TC, A.TR, A.TC, B.TR, B.TC)
+	}
+	if pool == nil {
+		p := sched.NewPool(0)
+		defer p.Close()
+		pool = p
+	}
+	e := &exec{kern: o.Kernel, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+	stats := &Stats{Depth: C.D, TileM: C.TR, TileK: A.TC, TileN: C.TC,
+		PaddedM: C.PaddedRows(), PaddedK: A.PaddedCols(), PaddedN: C.PaddedCols(), Blocks: 1}
+	t0 := time.Now()
+	cm, am, bm := C.Mat(), A.Mat(), B.Mat()
+	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })
+	stats.Compute = time.Since(t0)
+	stats.Work, stats.Span = work, span
+	return stats, nil
+}
+
+// WorkSpan computes, without executing anything, the analytic work and
+// span (in flops) of one algorithm on a 2^d grid of t×t tiles with the
+// given parallel-structure assumptions — the idealized counterpart of
+// the runtime accounting, used by the parallelism experiment.
+func WorkSpan(alg Alg, d uint, t int) (work, span float64) {
+	leafFlops := 2 * float64(t) * float64(t) * float64(t)
+	addFlops := func(tiles int) float64 {
+		e := float64(tiles) * float64(tiles) * float64(t) * float64(t)
+		return e
+	}
+	var rec func(tiles int) (w, s float64)
+	switch alg {
+	case Standard:
+		rec = func(tiles int) (float64, float64) {
+			if tiles == 1 {
+				return leafFlops, leafFlops
+			}
+			w, s := rec(tiles / 2)
+			return 8 * w, 2 * s // two parallel rounds of four
+		}
+	case Standard8:
+		rec = func(tiles int) (float64, float64) {
+			if tiles == 1 {
+				return leafFlops, leafFlops
+			}
+			w, s := rec(tiles / 2)
+			a := addFlops(tiles / 2)
+			return 8*w + 8*a, s + 2*a // eight parallel products, then parallel post-add pairs
+		}
+	case Strassen:
+		rec = func(tiles int) (float64, float64) {
+			if tiles == 1 {
+				return leafFlops, leafFlops
+			}
+			w, s := rec(tiles / 2)
+			a := addFlops(tiles / 2)
+			// 10 pre-additions plus 12 accumulate passes in the
+			// post-additions (the paper's 18-addition count is for the
+			// assignment form; the accumulate form C += Σ±P costs one
+			// pass per term).
+			return 7*w + 22*a, s + 5*a // parallel pre (1 deep), mults, post (4 deep)
+		}
+	case Winograd:
+		rec = func(tiles int) (float64, float64) {
+			if tiles == 1 {
+				return leafFlops, leafFlops
+			}
+			w, s := rec(tiles / 2)
+			a := addFlops(tiles / 2)
+			// 8 pre-addition passes (two 3-deep chains plus two single
+			// subtractions) and 11 post passes in the accumulate form;
+			// the paper's 15-addition count is for the assignment form.
+			return 7*w + 19*a, s + 14*a // 3-deep pre chain, mults, 11 sequential post adds
+		}
+	case StrassenLowMem:
+		rec = func(tiles int) (float64, float64) {
+			if tiles == 1 {
+				return leafFlops, leafFlops
+			}
+			w, _ := rec(tiles / 2)
+			a := addFlops(tiles / 2)
+			// Entirely sequential: span equals work.
+			total := 7*w + 29*a
+			return total, total
+		}
+	default:
+		panic("core: invalid algorithm")
+	}
+	if !bits.IsPow2(1 << d) {
+		panic("unreachable")
+	}
+	return rec(1 << d)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// strassenLowMem is the space-conserving sequential variant Section 5 of
+// the paper describes: "If we were interested only in sequential
+// computation, and wished to conserve space, we would intersperse
+// recursive calls with pre- and post-additions." Instead of materializing
+// all ten pre-addition temporaries and seven product temporaries at
+// once, it allocates one S-shaped, one T-shaped, and one P-shaped
+// scratch per level and processes the seven products one after another,
+// accumulating each into the destination quadrants as soon as it is
+// ready.
+//
+// There is no parallelism in this code ("of course, there is no
+// parallelism in such a code"), and its leaf products read from scratch
+// buffers that are reused immediately — which is why the paper observes
+// that it behaves more like the standard algorithm with respect to
+// layouts (recursive layouts help it by 10–20%). The ablation benchmark
+// at the repository root reproduces that comparison.
+func (e *exec) strassenLowMem(c *sched.Ctx, C, A, B Mat) {
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
+	}
+	if C.tiles <= e.fastCutoff {
+		e.std(c, C, A, B)
+		return
+	}
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+
+	s := newTemp(a11)
+	t := newTemp(b11)
+	p := newTemp(c11)
+
+	product := func(sa, sb Mat) {
+		matZero(p)
+		e.strassenLowMem(c, p, sa, sb)
+	}
+	// P1 = (A11+A22)·(B11+B22) → C11, C22
+	matEW3(s, a11, a22, vAdd)
+	matEW3(t, b11, b22, vAdd)
+	product(s, t)
+	matEW2(c11, p, vAcc)
+	matEW2(c22, p, vAcc)
+	// P2 = (A21+A22)·B11 → C21, −C22
+	matEW3(s, a21, a22, vAdd)
+	product(s, b11)
+	matEW2(c21, p, vAcc)
+	matEW2(c22, p, vDec)
+	// P3 = A11·(B12−B22) → C12, C22
+	matEW3(t, b12, b22, vSub)
+	product(a11, t)
+	matEW2(c12, p, vAcc)
+	matEW2(c22, p, vAcc)
+	// P4 = A22·(B21−B11) → C11, C21
+	matEW3(t, b21, b11, vSub)
+	product(a22, t)
+	matEW2(c11, p, vAcc)
+	matEW2(c21, p, vAcc)
+	// P5 = (A11+A12)·B22 → −C11, C12
+	matEW3(s, a11, a12, vAdd)
+	product(s, b22)
+	matEW2(c11, p, vDec)
+	matEW2(c12, p, vAcc)
+	// P6 = (A21−A11)·(B11+B12) → C22
+	matEW3(s, a21, a11, vSub)
+	matEW3(t, b11, b12, vAdd)
+	product(s, t)
+	matEW2(c22, p, vAcc)
+	// P7 = (A12−A22)·(B21+B22) → C11
+	matEW3(s, a12, a22, vSub)
+	matEW3(t, b21, b22, vAdd)
+	product(s, t)
+	matEW2(c11, p, vAcc)
+
+	// 10 pre-addition passes, 7 zero-fills, 12 accumulate passes.
+	for i := 0; i < 29; i++ {
+		accountAdd(c, c11)
+	}
+}

@@ -1,0 +1,297 @@
+// Package core implements the paper's central contribution: the three
+// recursive matrix multiplication algorithms (standard, Strassen,
+// Winograd — Section 2) executing over the recursive array layouts of
+// Section 3, with the address computation embedded implicitly in the
+// recursive control structure as described in Section 4.
+//
+// A matrix participating in a multiplication is either
+//
+//   - tiled: stored as a 2^d × 2^d grid of t_R × t_C column-major tiles,
+//     the tiles ordered along one of the five recursive curves
+//     (equation (3) of the paper); or
+//   - canonical: an ordinary column-major array with a leading
+//     dimension, padded to the same 2^d tile grid so that the identical
+//     control structure runs over both (the L_C baseline of Section 5).
+//
+// The recursion never evaluates the S function per element: a quadrant
+// descriptor (Mat) carries the base offset and, for the multi-orientation
+// curves, the orientation; descending to a child quadrant is one table
+// lookup and one offset addition. Tiles only acquire addresses when the
+// recursion bottoms out, exactly as Section 4 prescribes.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/matrix"
+)
+
+// Mat describes one square sub-grid of tiles at some level of the
+// recursion: either a contiguous run of recursively-ordered tiles or a
+// strided view of a canonical (column-major) array. All three matrices
+// of a multiplication share the same tiles-per-side count at every
+// level, so quadrant descent stays in lock step.
+type Mat struct {
+	data  []float64
+	tiles int // tiles per side at this level (power of two)
+	tr    int // tile rows
+	tc    int // tile columns
+	// ld is the leading dimension for canonical storage; ld == 0 marks
+	// tiled (recursive) storage, where each tile is contiguous with
+	// leading dimension tr.
+	ld     int
+	curve  layout.Curve
+	orient layout.Orient
+}
+
+// tiledStore reports whether the Mat uses recursive tile storage.
+func (m Mat) tiledStore() bool { return m.ld == 0 }
+
+// rows and cols return the (padded) element extent of this sub-matrix.
+func (m Mat) rows() int { return m.tiles * m.tr }
+func (m Mat) cols() int { return m.tiles * m.tc }
+
+// tileElems is the storage footprint of one tile.
+func (m Mat) tileElems() int { return m.tr * m.tc }
+
+// elems is the total number of elements covered by this sub-matrix.
+func (m Mat) elems() int { return m.tiles * m.tiles * m.tileElems() }
+
+// quad returns the descriptor of geometric quadrant q (layout.QuadNW..
+// layout.QuadSE). For tiled storage this is the implicit address
+// computation of Section 4: the child at curve position p occupies the
+// p-th quarter of the parent's contiguous range, in the orientation
+// given by the curve's descent table. For canonical storage it is plain
+// row/column offset arithmetic with an unchanged leading dimension.
+func (m Mat) quad(q int) Mat {
+	if m.tiles < 2 {
+		panic("core: quad on leaf Mat")
+	}
+	half := m.tiles / 2
+	c := m
+	c.tiles = half
+	if m.tiledStore() {
+		p := m.curve.PosOf(m.orient, q)
+		sz := half * half * m.tileElems()
+		c.data = m.data[p*sz:]
+		c.orient = m.curve.ChildOrient(m.orient, p)
+		return c
+	}
+	off := (q >> 1 & 1) * half * m.tr
+	off += (q & 1) * half * m.tc * m.ld
+	c.data = m.data[off:]
+	return c
+}
+
+// leafLD returns the leading dimension to hand the leaf kernel: the
+// enclosing array's for canonical storage (the memory-system behavior
+// the paper studies), the tile's own row count for recursive storage.
+func (m Mat) leafLD() int {
+	if m.tiledStore() {
+		return m.tr
+	}
+	return m.ld
+}
+
+// dense wraps a canonical Mat as a matrix.Dense view.
+func (m Mat) dense() *matrix.Dense {
+	if m.tiledStore() {
+		panic("core: dense view of tiled Mat")
+	}
+	return matrix.FromSlice(m.data, m.rows(), m.cols(), m.ld)
+}
+
+// permCache memoizes orientation permutations per (curve, from, to,
+// depth); see layout.Perm. Depth here is lg(tiles).
+var permCache sync.Map
+
+type permKey struct {
+	c        layout.Curve
+	from, to layout.Orient
+	d        uint
+}
+
+func permFor(c layout.Curve, from, to layout.Orient, d uint) []int32 {
+	key := permKey{c, from, to, d}
+	if v, ok := permCache.Load(key); ok {
+		return v.([]int32)
+	}
+	p := c.Perm(from, to, d)
+	actual, _ := permCache.LoadOrStore(key, p)
+	return actual.([]int32)
+}
+
+// log2tiles returns lg(tiles) for a power-of-two tile count.
+func log2tiles(tiles int) uint {
+	var d uint
+	for t := tiles; t > 1; t >>= 1 {
+		d++
+	}
+	return d
+}
+
+// tileIndexMap returns a function mapping a tile position s in dst's
+// ordering to the corresponding tile position in src's ordering, or nil
+// when the orderings coincide (the streaming fast path of Section 4).
+//
+// For Gray-Morton's two orientations the paper's half-step symmetry
+// applies: the mapping is a rotation by half the tile count, so the pre-
+// and post-additions run as two contiguous half-streams. For Hilbert the
+// mapping is a memoized permutation array ("global mapping arrays" in
+// Section 4); the added loop-control cost is one indexed load per tile.
+func tileIndexMap(dst, src Mat) func(int) int {
+	if dst.curve != src.curve {
+		panic("core: tile map across curves")
+	}
+	if dst.orient == src.orient {
+		return nil
+	}
+	if dst.curve == layout.GrayMorton {
+		half := dst.tiles * dst.tiles / 2
+		total := dst.tiles * dst.tiles
+		return func(s int) int { return (s + half) % total }
+	}
+	perm := permFor(dst.curve, dst.orient, src.orient, log2tiles(dst.tiles))
+	return func(s int) int { return int(perm[s]) }
+}
+
+// checkGeom panics unless the Mats have identical tile geometry.
+func checkGeom(ms ...Mat) {
+	for _, m := range ms[1:] {
+		if m.tiles != ms[0].tiles || m.tr != ms[0].tr || m.tc != ms[0].tc {
+			panic(fmt.Sprintf("core: geometry mismatch %dx(%dx%d) vs %dx(%dx%d)",
+				ms[0].tiles, ms[0].tr, ms[0].tc, m.tiles, m.tr, m.tc))
+		}
+	}
+}
+
+// vAdd / vSub / vAcc / vDec are the streaming element kernels.
+func vAdd(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+func vSub(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+func vAcc(dst, a []float64) {
+	for i := range dst {
+		dst[i] += a[i]
+	}
+}
+
+func vDec(dst, a []float64) {
+	for i := range dst {
+		dst[i] -= a[i]
+	}
+}
+
+func vCopy(dst, a []float64) {
+	copy(dst, a)
+}
+
+func vZero(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// matZero clears a sub-matrix.
+func matZero(dst Mat) {
+	if dst.tiledStore() {
+		vZero(dst.data[:dst.elems()])
+		return
+	}
+	dst.dense().Zero()
+}
+
+// matEW2 applies a two-operand element-wise kernel (dst, a) over equal
+// geometry, e.g. dst += a. Orientation mismatches between tiled operands
+// are resolved through tileIndexMap; when the orientations coincide the
+// whole region is one contiguous stream and f runs once over it — the
+// "streaming through the memory hierarchy" case Section 4 highlights.
+// Canonical operands are walked column-by-column.
+func matEW2(dst, a Mat, f func(dst, a []float64)) {
+	checkGeom(dst, a)
+	if dst.tiledStore() != a.tiledStore() {
+		panic("core: mixed storage in element-wise op")
+	}
+	if dst.tiledStore() {
+		idx := tileIndexMap(dst, a)
+		if idx == nil {
+			f(dst.data[:dst.elems()], a.data[:a.elems()])
+			return
+		}
+		ts := dst.tileElems()
+		nt := dst.tiles * dst.tiles
+		for s := 0; s < nt; s++ {
+			sa := idx(s)
+			f(dst.data[s*ts:(s+1)*ts], a.data[sa*ts:sa*ts+ts])
+		}
+		return
+	}
+	rows, cols := dst.rows(), dst.cols()
+	for j := 0; j < cols; j++ {
+		f(dst.data[j*dst.ld:j*dst.ld+rows], a.data[j*a.ld:j*a.ld+rows])
+	}
+}
+
+// matEW3 applies a three-operand element-wise kernel (dst, a, b) over
+// equal geometry, e.g. dst = a + b.
+func matEW3(dst, a, b Mat, f func(dst, a, b []float64)) {
+	checkGeom(dst, a, b)
+	if dst.tiledStore() != a.tiledStore() || dst.tiledStore() != b.tiledStore() {
+		panic("core: mixed storage in element-wise op")
+	}
+	if dst.tiledStore() {
+		ia := tileIndexMap(dst, a)
+		ib := tileIndexMap(dst, b)
+		if ia == nil && ib == nil {
+			f(dst.data[:dst.elems()], a.data[:a.elems()], b.data[:b.elems()])
+			return
+		}
+		ts := dst.tileElems()
+		nt := dst.tiles * dst.tiles
+		for s := 0; s < nt; s++ {
+			sa, sb := s, s
+			if ia != nil {
+				sa = ia(s)
+			}
+			if ib != nil {
+				sb = ib(s)
+			}
+			f(dst.data[s*ts:(s+1)*ts], a.data[sa*ts:sa*ts+ts], b.data[sb*ts:sb*ts+ts])
+		}
+		return
+	}
+	rows, cols := dst.rows(), dst.cols()
+	for j := 0; j < cols; j++ {
+		f(dst.data[j*dst.ld:j*dst.ld+rows],
+			a.data[j*a.ld:j*a.ld+rows],
+			b.data[j*b.ld:j*b.ld+rows])
+	}
+}
+
+// newTemp allocates a scratch Mat with the same geometry as proto. For
+// tiled storage the temp adopts the reference orientation, which is
+// always legal because every element-wise op resolves orientation
+// differences explicitly. For canonical storage the temp is contiguous,
+// so its leading dimension equals its row count — the leading-dimension
+// halving that Section 5.1 identifies as the reason the fast algorithms
+// are robust on canonical layouts.
+func newTemp(proto Mat) Mat {
+	t := proto
+	t.data = make([]float64, proto.elems())
+	if proto.tiledStore() {
+		t.orient = layout.OrientID
+	} else {
+		t.ld = proto.rows()
+	}
+	return t
+}

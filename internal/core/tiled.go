@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// Tiled is a matrix stored in a recursive layout: a 2^D × 2^D grid of
+// TR × TC column-major tiles, tiles ordered along Curve (equation (3) of
+// the paper). Rows and Cols are the logical (pre-padding) extents; the
+// remaining elements are explicit zero padding on which the arithmetic
+// runs blindly, as Section 4 prescribes.
+type Tiled struct {
+	Curve      layout.Curve
+	D          uint
+	TR, TC     int
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewTiled allocates a zeroed tiled matrix covering rows × cols.
+func NewTiled(curve layout.Curve, d uint, tr, tc, rows, cols int) *Tiled {
+	side := 1 << d
+	if tr*side < rows || tc*side < cols {
+		panic(fmt.Sprintf("core: tiled %d×(%dx%d) cannot cover %dx%d", side, tr, tc, rows, cols))
+	}
+	return &Tiled{
+		Curve: curve, D: d, TR: tr, TC: tc, Rows: rows, Cols: cols,
+		Data: make([]float64, side*side*tr*tc),
+	}
+}
+
+// PaddedRows and PaddedCols return the padded extents.
+func (t *Tiled) PaddedRows() int { return t.TR << t.D }
+func (t *Tiled) PaddedCols() int { return t.TC << t.D }
+
+// Mat returns the whole-matrix quadrant descriptor in the reference
+// orientation.
+func (t *Tiled) Mat() Mat {
+	return Mat{
+		data:  t.Data,
+		tiles: 1 << t.D,
+		tr:    t.TR,
+		tc:    t.TC,
+		curve: t.Curve,
+	}
+}
+
+// At returns logical element (i, j), evaluating the layout function of
+// equation (3): tile coordinates through the curve's S function, tile
+// offset through the canonical column-major layout. It is intended for
+// tests and spot checks, not hot paths — the recursion never calls it.
+func (t *Tiled) At(i, j int) float64 {
+	s := t.Curve.S(uint32(i/t.TR), uint32(j/t.TC), t.D)
+	return t.Data[int(s)*t.TR*t.TC+(j%t.TC)*t.TR+(i%t.TR)]
+}
+
+// parallelRanges splits [0, n) into roughly equal chunks for pool-wide
+// data-parallel loops.
+func parallelRanges(n, chunks int) [][2]int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+	rs := make([][2]int, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := n * c / chunks
+		hi := n * (c + 1) / chunks
+		if lo < hi {
+			rs = append(rs, [2]int{lo, hi})
+		}
+	}
+	return rs
+}
+
+// runChunks executes f over the ranges in parallel on the pool.
+func runChunks(pool *sched.Pool, n int, f func(lo, hi int)) {
+	rs := parallelRanges(n, pool.Workers()*4)
+	if len(rs) == 1 {
+		f(rs[0][0], rs[0][1])
+		return
+	}
+	fns := make([]func(*sched.Ctx), len(rs))
+	for i, r := range rs {
+		r := r
+		fns[i] = func(*sched.Ctx) { f(r[0], r[1]) }
+	}
+	pool.Run(func(c *sched.Ctx) { c.Parallel(fns...) })
+}
+
+// Pack converts op(src), scaled by alpha, from column-major into the
+// tiled layout, inserting explicit zero padding. The remapping works
+// tile-by-tile and is parallelized over tiles across the pool, as
+// Section 4 describes ("the remapping of the individual tiles is again
+// amenable to parallel execution"). Any required transposition is folded
+// into this step, so the multiplication core needs no transposed
+// variants.
+func (t *Tiled) Pack(pool *sched.Pool, src *matrix.Dense, trans bool, alpha float64) {
+	srows, scols := src.Rows, src.Cols
+	if trans {
+		srows, scols = scols, srows
+	}
+	if srows != t.Rows || scols != t.Cols {
+		panic(fmt.Sprintf("core: pack %dx%d into tiled %dx%d", srows, scols, t.Rows, t.Cols))
+	}
+	side := 1 << t.D
+	ts := t.TR * t.TC
+	runChunks(pool, side*side, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			ti, tj := t.Curve.SInverse(uint64(s), t.D)
+			base := s * ts
+			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
+			for jj := 0; jj < t.TC; jj++ {
+				dcol := t.Data[base+jj*t.TR : base+jj*t.TR+t.TR]
+				gj := j0 + jj
+				if gj >= t.Cols {
+					vZero(dcol)
+					continue
+				}
+				vr := t.Rows - i0
+				if vr > t.TR {
+					vr = t.TR
+				}
+				if vr <= 0 {
+					vZero(dcol)
+					continue
+				}
+				if trans {
+					// Logical (i, gj) = src(gj, i): strided row read.
+					for ii := 0; ii < vr; ii++ {
+						dcol[ii] = alpha * src.Data[(i0+ii)*src.Stride+gj]
+					}
+				} else {
+					scol := src.Data[gj*src.Stride+i0:]
+					for ii := 0; ii < vr; ii++ {
+						dcol[ii] = alpha * scol[ii]
+					}
+				}
+				for ii := vr; ii < t.TR; ii++ {
+					dcol[ii] = 0
+				}
+			}
+		}
+	})
+}
+
+// Unpack copies the logical region back out to a column-major matrix,
+// discarding padding. Parallelized over tiles like Pack.
+func (t *Tiled) Unpack(pool *sched.Pool, dst *matrix.Dense) {
+	if dst.Rows != t.Rows || dst.Cols != t.Cols {
+		panic(fmt.Sprintf("core: unpack tiled %dx%d into %dx%d", t.Rows, t.Cols, dst.Rows, dst.Cols))
+	}
+	side := 1 << t.D
+	ts := t.TR * t.TC
+	runChunks(pool, side*side, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			ti, tj := t.Curve.SInverse(uint64(s), t.D)
+			base := s * ts
+			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
+			if i0 >= t.Rows || j0 >= t.Cols {
+				continue
+			}
+			vr := t.Rows - i0
+			if vr > t.TR {
+				vr = t.TR
+			}
+			vc := t.Cols - j0
+			if vc > t.TC {
+				vc = t.TC
+			}
+			for jj := 0; jj < vc; jj++ {
+				copy(dst.Data[(j0+jj)*dst.Stride+i0:(j0+jj)*dst.Stride+i0+vr],
+					t.Data[base+jj*t.TR:base+jj*t.TR+vr])
+			}
+		}
+	})
+}
+
+// packPadded copies op(src)·alpha into a zeroed padded column-major
+// matrix — the conversion step for the canonical-layout (L_C) runs,
+// which still need padding so that the identical recursive control
+// structure applies. Parallelized over destination columns.
+func packPadded(pool *sched.Pool, dst, src *matrix.Dense, trans bool, alpha float64) {
+	srows, scols := src.Rows, src.Cols
+	if trans {
+		srows, scols = scols, srows
+	}
+	if srows > dst.Rows || scols > dst.Cols {
+		panic("core: packPadded destination too small")
+	}
+	runChunks(pool, dst.Cols, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dcol := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+			if j >= scols {
+				vZero(dcol)
+				continue
+			}
+			if trans {
+				for i := 0; i < srows; i++ {
+					dcol[i] = alpha * src.Data[i*src.Stride+j]
+				}
+			} else {
+				scol := src.Data[j*src.Stride:]
+				for i := 0; i < srows; i++ {
+					dcol[i] = alpha * scol[i]
+				}
+			}
+			for i := srows; i < dst.Rows; i++ {
+				dcol[i] = 0
+			}
+		}
+	})
+}
+
+// unpackPadded copies the logical region of a padded column-major
+// matrix back into dst.
+func unpackPadded(pool *sched.Pool, dst, src *matrix.Dense) {
+	runChunks(pool, dst.Cols, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			copy(dst.Data[j*dst.Stride:j*dst.Stride+dst.Rows],
+				src.Data[j*src.Stride:j*src.Stride+dst.Rows])
+		}
+	})
+}

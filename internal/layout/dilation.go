@@ -1,0 +1,105 @@
+package layout
+
+// Dilation quantifies the multi-scale dilation effect of Section 3.4:
+// when walking the curve position by position, how often and how far the
+// walk jumps to a non-adjacent grid cell. The paper observes that "these
+// jumps get less pronounced as the number of orientations increases" —
+// Hilbert (4 orientations) has none, Gray-Morton (2) has short ones, and
+// the Morton family (1) jumps across entire quadrant diagonals at every
+// scale.
+//
+// A second measure looks from the grid side: for each pair of cardinal
+// grid neighbors, the distance |S(a) − S(b)| along the curve. By the
+// pigeonhole argument of Section 3.4 at most two of a cell's four
+// neighbors can be curve-adjacent, so even Hilbert has stretched
+// neighbor pairs — the relevant comparison is the average stretch.
+type Dilation struct {
+	// Jumps counts steps s→s+1 whose grid cells are not cardinal
+	// neighbors.
+	Jumps int
+	// MaxJump is the largest Manhattan distance of any single step.
+	MaxJump int
+	// AvgStep is the mean Manhattan distance over all steps (1.0 means
+	// the curve is continuous).
+	AvgStep float64
+	// AvgNeighborStretch is the mean |S(a)−S(b)| over all cardinal
+	// neighbor pairs (a, b) of the grid.
+	AvgNeighborStretch float64
+	// AvgRowStretch and AvgColStretch split the neighbor stretch by
+	// direction: row-direction pairs (i,j)→(i+1,j) and column-direction
+	// pairs (i,j)→(i,j+1). Canonical layouts are extremely asymmetric
+	// (one direction has stretch 1, the other 2^d — the "favors one
+	// axis" dilation of Section 3); recursive layouts keep the two
+	// within a small constant factor of each other.
+	AvgRowStretch, AvgColStretch float64
+}
+
+// Asymmetry returns max(row, col) / min(row, col) average stretch — the
+// degree to which the layout favors one axis.
+func (d Dilation) Asymmetry() float64 {
+	hi, lo := d.AvgRowStretch, d.AvgColStretch
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo == 0 {
+		return 0
+	}
+	return hi / lo
+}
+
+// MeasureDilation walks curve c at depth d and computes its dilation
+// statistics.
+func MeasureDilation(c Curve, d uint) Dilation {
+	n := 1 << d
+	total := n * n
+	var dil Dilation
+	var sumStep float64
+	pi, pj := c.SInverse(0, d)
+	for s := 1; s < total; s++ {
+		i, j := c.SInverse(uint64(s), d)
+		di, dj := int(i)-int(pi), int(j)-int(pj)
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		step := di + dj
+		sumStep += float64(step)
+		if step > 1 {
+			dil.Jumps++
+		}
+		if step > dil.MaxJump {
+			dil.MaxJump = step
+		}
+		pi, pj = i, j
+	}
+	dil.AvgStep = sumStep / float64(total-1)
+
+	// Neighbor stretch over horizontal and vertical grid edges.
+	var sumRow, sumCol float64
+	s := func(i, j int) int64 { return int64(c.S(uint32(i), uint32(j), d)) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j+1 < n {
+				v := s(i, j) - s(i, j+1)
+				if v < 0 {
+					v = -v
+				}
+				sumCol += float64(v)
+			}
+			if i+1 < n {
+				v := s(i, j) - s(i+1, j)
+				if v < 0 {
+					v = -v
+				}
+				sumRow += float64(v)
+			}
+		}
+	}
+	edges := float64(n * (n - 1))
+	dil.AvgRowStretch = sumRow / edges
+	dil.AvgColStretch = sumCol / edges
+	dil.AvgNeighborStretch = (sumRow + sumCol) / (2 * edges)
+	return dil
+}

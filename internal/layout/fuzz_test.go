@@ -1,0 +1,49 @@
+package layout
+
+import "testing"
+
+// FuzzSRoundTrip drives arbitrary coordinates and depths through every
+// curve's S/SInverse pair (including high depths the table-driven tests
+// do not enumerate exhaustively).
+func FuzzSRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint8(1))
+	f.Add(uint32(3), uint32(5), uint8(4))
+	f.Add(uint32(1023), uint32(511), uint8(10))
+	f.Add(uint32(65535), uint32(1), uint8(16))
+	f.Fuzz(func(t *testing.T, i, j uint32, dRaw uint8) {
+		d := uint(dRaw)%24 + 1
+		mask := uint32(1)<<d - 1
+		i &= mask
+		j &= mask
+		for _, c := range Curves {
+			s := c.S(i, j, d)
+			if s >= uint64(1)<<(2*d) {
+				t.Fatalf("%v d=%d: S(%d,%d)=%d out of range", c, d, i, j, s)
+			}
+			gi, gj := c.SInverse(s, d)
+			if gi != i || gj != j {
+				t.Fatalf("%v d=%d: round trip (%d,%d) -> %d -> (%d,%d)", c, d, i, j, s, gi, gj)
+			}
+		}
+	})
+}
+
+// FuzzOrientedRoundTrip exercises the oriented variants used by the
+// pre-/post-addition machinery.
+func FuzzOrientedRoundTrip(f *testing.F) {
+	f.Add(uint32(7), uint32(2), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, i, j uint32, dRaw, oRaw uint8) {
+		d := uint(dRaw)%12 + 1
+		mask := uint32(1)<<d - 1
+		i &= mask
+		j &= mask
+		for _, c := range RecursiveCurves {
+			o := Orient(int(oRaw) % c.Orientations())
+			s := c.SOriented(o, i, j, d)
+			gi, gj := c.SInverseOriented(o, s, d)
+			if gi != i || gj != j {
+				t.Fatalf("%v o=%d d=%d: oriented round trip failed at (%d,%d)", c, o, d, i, j)
+			}
+		}
+	})
+}

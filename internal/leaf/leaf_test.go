@@ -1,0 +1,146 @@
+package leaf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// runKernel applies a kernel to matrix.Dense operands.
+func runKernel(k Kernel, C, A, B *matrix.Dense) {
+	k(C.Rows, C.Cols, A.Cols, A.Data, A.Stride, B.Data, B.Stride, C.Data, C.Stride)
+}
+
+func TestKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {4, 4, 4}, {5, 7, 3}, {8, 8, 8},
+		{16, 16, 16}, {17, 19, 23}, {32, 1, 32}, {1, 32, 1}, {33, 31, 29},
+	}
+	for name := range kernels {
+		k, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shapes {
+			m, n, kk := sh[0], sh[1], sh[2]
+			A := matrix.Random(m, kk, rng)
+			B := matrix.Random(kk, n, rng)
+			C := matrix.Random(m, n, rng)
+			want := C.Clone()
+			matrix.RefMulAdd(want, A, B)
+			runKernel(k, C, A, B)
+			if !matrix.Equal(C, want, 1e-12) {
+				t.Errorf("%s: wrong result for %dx%dx%d (max diff %g)",
+					name, m, n, kk, matrix.MaxAbsDiff(C, want))
+			}
+		}
+	}
+}
+
+func TestKernelsAccumulate(t *testing.T) {
+	// Kernels must compute C += A·B, not C = A·B.
+	rng := rand.New(rand.NewSource(2))
+	A := matrix.Random(8, 8, rng)
+	B := matrix.Random(8, 8, rng)
+	for name, k := range kernels {
+		C := matrix.Random(8, 8, rng)
+		want := C.Clone()
+		matrix.RefMulAdd(want, A, B)
+		runKernel(k, C, A, B)
+		if !matrix.Equal(C, want, 1e-12) {
+			t.Errorf("%s does not accumulate into C", name)
+		}
+	}
+}
+
+func TestKernelsOnStridedViews(t *testing.T) {
+	// The canonical-layout leaf case: tiles are views into a big matrix
+	// with leading dimension much larger than the tile.
+	rng := rand.New(rand.NewSource(3))
+	big := matrix.Random(64, 64, rng)
+	A := big.View(3, 5, 12, 9)
+	B := big.View(20, 17, 9, 10)
+	for name, k := range kernels {
+		C := matrix.Random(12, 10, rng)
+		want := C.Clone()
+		matrix.RefMulAdd(want, A, B)
+		runKernel(k, C, A, B)
+		if !matrix.Equal(C, want, 1e-12) {
+			t.Errorf("%s wrong on strided views", name)
+		}
+	}
+}
+
+func TestKernelsZeroDims(t *testing.T) {
+	for name, k := range kernels {
+		// m, n, or k of zero must be a no-op and must not panic.
+		c := []float64{42}
+		k(0, 0, 0, nil, 1, nil, 1, c, 1)
+		k(1, 1, 0, nil, 1, nil, 1, c, 1)
+		if c[0] != 42 {
+			t.Errorf("%s modified C with k=0", name)
+		}
+	}
+}
+
+func TestKernelsAgreePropertyBased(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, kk := 1+rng.Intn(24), 1+rng.Intn(24), 1+rng.Intn(24)
+		A := matrix.Random(m, kk, rng)
+		B := matrix.Random(kk, n, rng)
+		C0 := matrix.Random(m, n, rng)
+		var prev *matrix.Dense
+		for _, name := range Names() {
+			k, _ := Get(name)
+			C := C0.Clone()
+			runKernel(k, C, A, B)
+			if prev != nil && !matrix.Equal(C, prev, 1e-12) {
+				return false
+			}
+			prev = C
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("sgemm"); err == nil {
+		t.Fatal("Get on unknown kernel should error")
+	}
+}
+
+func TestNamesRegistered(t *testing.T) {
+	for _, n := range Names() {
+		if _, err := Get(n); err != nil {
+			t.Errorf("Names() lists unregistered kernel %q", n)
+		}
+	}
+	if len(Names()) != len(kernels) {
+		t.Errorf("Names() has %d entries, registry has %d", len(Names()), len(kernels))
+	}
+}
+
+func benchKernel(b *testing.B, k Kernel, n int) {
+	rng := rand.New(rand.NewSource(1))
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	C := matrix.New(n, n)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runKernel(k, C, A, B)
+	}
+}
+
+func BenchmarkKernels64(b *testing.B) {
+	for _, name := range Names() {
+		k, _ := Get(name)
+		b.Run(name, func(b *testing.B) { benchKernel(b, k, 64) })
+	}
+}

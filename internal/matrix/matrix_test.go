@@ -1,0 +1,411 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	a := New(3, 5)
+	if a.Rows != 3 || a.Cols != 5 || a.Stride != 3 || len(a.Data) != 15 {
+		t.Fatalf("New(3,5) = %+v", a)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New not zeroed")
+		}
+	}
+}
+
+func TestColumnMajorAddressing(t *testing.T) {
+	a := New(2, 3)
+	a.Set(1, 2, 42)
+	// Column-major: element (1,2) lives at 2*stride+1 = 5.
+	if a.Data[5] != 42 {
+		t.Fatalf("column-major addressing broken: %v", a.Data)
+	}
+	if a.At(1, 2) != 42 {
+		t.Fatal("At/Set disagree")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	a := FromSlice(data, 2, 3, 2)
+	if a.At(0, 0) != 1 || a.At(1, 0) != 2 || a.At(0, 1) != 3 || a.At(1, 2) != 6 {
+		t.Fatalf("FromSlice addressing wrong: %v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice should panic on short slice")
+		}
+	}()
+	FromSlice(data, 3, 3, 3)
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	a := Sequential(4, 4)
+	v := a.View(1, 2, 2, 2)
+	if v.At(0, 0) != a.At(1, 2) || v.At(1, 1) != a.At(2, 3) {
+		t.Fatal("view addressing wrong")
+	}
+	v.Set(0, 0, -7)
+	if a.At(1, 2) != -7 {
+		t.Fatal("view does not share storage")
+	}
+}
+
+func TestViewBounds(t *testing.T) {
+	a := New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds view should panic")
+		}
+	}()
+	a.View(2, 2, 3, 3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Sequential(3, 3)
+	c := a.Clone()
+	c.Set(0, 0, -1)
+	if a.At(0, 0) == -1 {
+		t.Fatal("clone shares storage")
+	}
+	if !Equal(a, Sequential(3, 3), 0) {
+		t.Fatal("clone mutated original")
+	}
+}
+
+func TestCopyFromStrided(t *testing.T) {
+	a := Sequential(6, 6)
+	src := a.View(2, 2, 3, 3)
+	dst := New(3, 3)
+	dst.CopyFrom(src)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if dst.At(i, j) != a.At(i+2, j+2) {
+				t.Fatalf("strided copy wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestZeroOnView(t *testing.T) {
+	a := Sequential(4, 4)
+	a.View(1, 1, 2, 2).Zero()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			inView := i >= 1 && i <= 2 && j >= 1 && j <= 2
+			if inView && a.At(i, j) != 0 {
+				t.Fatalf("(%d,%d) not zeroed", i, j)
+			}
+			if !inView && a.At(i, j) == 0 {
+				t.Fatalf("(%d,%d) wrongly zeroed", i, j)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := Sequential(3, 5)
+	at := a.Transpose()
+	if at.Rows != 5 || at.Cols != 3 {
+		t.Fatal("transpose shape")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Involution.
+	if !Equal(a, at.Transpose(), 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := Random(5, 7, rng), Random(5, 7, rng)
+	sum, diff := New(5, 7), New(5, 7)
+	Add(sum, a, b)
+	Sub(diff, sum, b)
+	if !Equal(diff, a, 1e-15) {
+		t.Fatal("(a+b)-b != a")
+	}
+}
+
+func TestAddToSubFromInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := Random(4, 4, rng), Random(4, 4, rng)
+	orig := a.Clone()
+	AddTo(a, b)
+	SubFrom(a, b)
+	if !Equal(a, orig, 1e-15) {
+		t.Fatal("AddTo then SubFrom not identity")
+	}
+}
+
+func TestAXPBY(t *testing.T) {
+	a := Sequential(3, 3)
+	c := Identity(3)
+	AXPBY(c, a, 2, -1)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 2 * a.At(i, j)
+			if i == j {
+				want--
+			}
+			if c.At(i, j) != want {
+				t.Fatalf("AXPBY wrong at (%d,%d): %g != %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := Sequential(3, 3)
+	b := a.Clone()
+	b.Scale(1) // no-op path
+	if !Equal(a, b, 0) {
+		t.Fatal("Scale(1) changed matrix")
+	}
+	b.Scale(-2)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(i, j) != -2*a.At(i, j) {
+				t.Fatal("Scale(-2) wrong")
+			}
+		}
+	}
+}
+
+func TestRefMulAddIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Random(6, 6, rng)
+	c := New(6, 6)
+	RefMulAdd(c, a, Identity(6))
+	if !Equal(c, a, 0) {
+		t.Fatal("A·I != A")
+	}
+	c.Zero()
+	RefMulAdd(c, Identity(6), a)
+	if !Equal(c, a, 0) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestRefMulAddKnown(t *testing.T) {
+	// [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := New(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := New(2, 2)
+	RefMulAdd(c, a, b)
+	want := [2][2]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("C(%d,%d) = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestRefMulAddRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := Random(3, 5, rng), Random(5, 2, rng)
+	c := New(3, 2)
+	RefMulAdd(c, a, b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			var want float64
+			for k := 0; k < 5; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-14 {
+				t.Fatalf("rectangular multiply wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRefGEMMTransposeAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	A, B := Random(4, 3, rng), Random(5, 4, rng) // op(A)=Aᵀ is 3x4, op(B)=Bᵀ is 4x5
+	C := Random(3, 5, rng)
+	want := C.Clone()
+	// Manual: want = 2·Aᵀ·Bᵀ + 0.5·C
+	at, bt := A.Transpose(), B.Transpose()
+	p := New(3, 5)
+	RefMulAdd(p, at, bt)
+	AXPBY(want, p, 2, 0.5)
+
+	RefGEMM(true, true, 2, A, B, 0.5, C)
+	if !Equal(C, want, 1e-14) {
+		t.Fatal("RefGEMM with transposes and scalars wrong")
+	}
+}
+
+func TestRefGEMMAlphaZeroSkipsProduct(t *testing.T) {
+	A := New(2, 2)
+	A.Set(0, 0, math.NaN()) // would poison the product if computed
+	C := Sequential(2, 2)
+	RefGEMM(false, false, 0, A, A, 3, C)
+	want := Sequential(2, 2)
+	want.Scale(3)
+	if !Equal(C, want, 0) {
+		t.Fatal("alpha=0 should reduce to C *= beta")
+	}
+}
+
+func TestMaxAbsDiffNaN(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	a.Set(0, 0, math.NaN())
+	if !math.IsInf(MaxAbsDiff(a, b), 1) {
+		t.Fatal("NaN diff should be +Inf")
+	}
+	if Equal(a, b, 1e9) {
+		t.Fatal("NaN matrices must never compare equal")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := New(3, 3)
+	if a.HasNaN() {
+		t.Fatal("zero matrix has no NaN")
+	}
+	a.Set(2, 1, math.NaN())
+	if !a.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	a := Random(4, 4, rand.New(rand.NewSource(7)))
+	b := Random(4, 4, rand.New(rand.NewSource(7)))
+	if !Equal(a, b, 0) {
+		t.Fatal("Random not reproducible with same seed")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Random element %g out of [-1,1)", v)
+		}
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	// Property: A·(B+C) == A·B + A·C.
+	rng := rand.New(rand.NewSource(8))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		m := 1 + r.Intn(8)
+		k := 1 + r.Intn(8)
+		A := Random(m, k, rng)
+		B := Random(k, n, rng)
+		C := Random(k, n, rng)
+		sum := New(k, n)
+		Add(sum, B, C)
+		left := New(m, n)
+		RefMulAdd(left, A, sum)
+		right := New(m, n)
+		RefMulAdd(right, A, B)
+		RefMulAdd(right, A, C)
+		return Equal(left, right, 1e-12)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeOfProduct(t *testing.T) {
+	// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+	rng := rand.New(rand.NewSource(9))
+	A, B := Random(5, 4, rng), Random(4, 6, rng)
+	ab := New(5, 6)
+	RefMulAdd(ab, A, B)
+	btat := New(6, 5)
+	RefMulAdd(btat, B.Transpose(), A.Transpose())
+	if !Equal(ab.Transpose(), btat, 1e-13) {
+		t.Fatal("(AB)ᵀ != BᵀAᵀ")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Add":       func() { Add(New(2, 2), New(2, 3), New(2, 2)) },
+		"RefMulAdd": func() { RefMulAdd(New(2, 2), New(2, 3), New(2, 2)) },
+		"CopyFrom":  func() { New(2, 2).CopyFrom(New(3, 2)) },
+		"AXPBY":     func() { AXPBY(New(2, 2), New(3, 3), 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: shape mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkRefMulAdd256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	A, B := Random(256, 256, rng), Random(256, 256, rng)
+	C := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RefMulAdd(C, A, B)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	// [1 -2; 3 4]: col sums {4, 6}, row sums {3, 7}, fro = sqrt(30).
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, -2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	if NormOne(a) != 6 {
+		t.Errorf("NormOne = %g, want 6", NormOne(a))
+	}
+	if NormInf(a) != 7 {
+		t.Errorf("NormInf = %g, want 7", NormInf(a))
+	}
+	if math.Abs(NormFro(a)-math.Sqrt(30)) > 1e-15 {
+		t.Errorf("NormFro = %g, want sqrt(30)", NormFro(a))
+	}
+}
+
+func TestNormDuality(t *testing.T) {
+	// ‖A‖₁ == ‖Aᵀ‖∞, and all norms vanish only on the zero matrix.
+	rng := rand.New(rand.NewSource(11))
+	a := Random(7, 9, rng)
+	if math.Abs(NormOne(a)-NormInf(a.Transpose())) > 1e-13 {
+		t.Error("1-norm / ∞-norm duality violated")
+	}
+	z := New(4, 4)
+	if NormOne(z) != 0 || NormInf(z) != 0 || NormFro(z) != 0 {
+		t.Error("zero matrix norms not zero")
+	}
+}
+
+func TestNormsOnViews(t *testing.T) {
+	big := Sequential(8, 8)
+	v := big.View(2, 2, 3, 3)
+	w := v.Clone()
+	if NormOne(v) != NormOne(w) || NormInf(v) != NormInf(w) || NormFro(v) != NormFro(w) {
+		t.Error("norms differ between view and its copy")
+	}
+}

@@ -1,0 +1,180 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkSameShape panics unless every matrix has the same shape.
+func checkSameShape(ms ...*Dense) {
+	for _, m := range ms[1:] {
+		if m.Rows != ms[0].Rows || m.Cols != ms[0].Cols {
+			panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d",
+				ms[0].Rows, ms[0].Cols, m.Rows, m.Cols))
+		}
+	}
+}
+
+// Add computes dst = a + b element-wise. The destination may alias
+// either operand.
+func Add(dst, a, b *Dense) {
+	checkSameShape(dst, a, b)
+	for j := 0; j < dst.Cols; j++ {
+		d := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+		x := a.Data[j*a.Stride : j*a.Stride+dst.Rows]
+		y := b.Data[j*b.Stride : j*b.Stride+dst.Rows]
+		for i := range d {
+			d[i] = x[i] + y[i]
+		}
+	}
+}
+
+// Sub computes dst = a - b element-wise. The destination may alias
+// either operand.
+func Sub(dst, a, b *Dense) {
+	checkSameShape(dst, a, b)
+	for j := 0; j < dst.Cols; j++ {
+		d := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+		x := a.Data[j*a.Stride : j*a.Stride+dst.Rows]
+		y := b.Data[j*b.Stride : j*b.Stride+dst.Rows]
+		for i := range d {
+			d[i] = x[i] - y[i]
+		}
+	}
+}
+
+// AddTo computes dst += a element-wise.
+func AddTo(dst, a *Dense) {
+	checkSameShape(dst, a)
+	for j := 0; j < dst.Cols; j++ {
+		d := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+		x := a.Data[j*a.Stride : j*a.Stride+dst.Rows]
+		for i := range d {
+			d[i] += x[i]
+		}
+	}
+}
+
+// SubFrom computes dst -= a element-wise.
+func SubFrom(dst, a *Dense) {
+	checkSameShape(dst, a)
+	for j := 0; j < dst.Cols; j++ {
+		d := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+		x := a.Data[j*a.Stride : j*a.Stride+dst.Rows]
+		for i := range d {
+			d[i] -= x[i]
+		}
+	}
+}
+
+// AXPBY computes dst = alpha*a + beta*dst element-wise, the update shape
+// used by the dgemm interface for the beta*C term.
+func AXPBY(dst, a *Dense, alpha, beta float64) {
+	checkSameShape(dst, a)
+	for j := 0; j < dst.Cols; j++ {
+		d := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+		x := a.Data[j*a.Stride : j*a.Stride+dst.Rows]
+		for i := range d {
+			d[i] = alpha*x[i] + beta*d[i]
+		}
+	}
+}
+
+// RefMulAdd computes C += A·B with the naive triple loop. It is the
+// correctness oracle: deliberately simple, obviously correct, and
+// independent of every layout and algorithm under test.
+func RefMulAdd(C, A, B *Dense) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic(fmt.Sprintf("matrix: mul %dx%d · %dx%d -> %dx%d",
+			A.Rows, A.Cols, B.Rows, B.Cols, C.Rows, C.Cols))
+	}
+	for j := 0; j < C.Cols; j++ {
+		for k := 0; k < A.Cols; k++ {
+			bkj := B.At(k, j)
+			if bkj == 0 {
+				continue
+			}
+			ccol := C.Data[j*C.Stride : j*C.Stride+C.Rows]
+			acol := A.Data[k*A.Stride : k*A.Stride+C.Rows]
+			for i := range ccol {
+				ccol[i] += acol[i] * bkj
+			}
+		}
+	}
+}
+
+// RefGEMM computes C = alpha·op(A)·op(B) + beta·C with the naive
+// algorithm, matching the dgemm semantics of Section 2.1. op(X) is X or
+// Xᵀ according to the trans flags.
+func RefGEMM(transA, transB bool, alpha float64, A, B *Dense, beta float64, C *Dense) {
+	opA, opB := A, B
+	if transA {
+		opA = A.Transpose()
+	}
+	if transB {
+		opB = B.Transpose()
+	}
+	if opA.Cols != opB.Rows || C.Rows != opA.Rows || C.Cols != opB.Cols {
+		panic(fmt.Sprintf("matrix: gemm op(A)=%dx%d op(B)=%dx%d C=%dx%d",
+			opA.Rows, opA.Cols, opB.Rows, opB.Cols, C.Rows, C.Cols))
+	}
+	C.Scale(beta)
+	if alpha == 0 {
+		return
+	}
+	P := New(C.Rows, C.Cols)
+	RefMulAdd(P, opA, opB)
+	AXPBY(C, P, alpha, 1)
+}
+
+// NormOne returns the 1-norm (maximum absolute column sum).
+func NormOne(a *Dense) float64 {
+	var max float64
+	for j := 0; j < a.Cols; j++ {
+		var s float64
+		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
+		for _, v := range col {
+			if v < 0 {
+				v = -v
+			}
+			s += v
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the ∞-norm (maximum absolute row sum).
+func NormInf(a *Dense) float64 {
+	sums := make([]float64, a.Rows)
+	for j := 0; j < a.Cols; j++ {
+		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
+		for i, v := range col {
+			if v < 0 {
+				v = -v
+			}
+			sums[i] += v
+		}
+	}
+	var max float64
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormFro returns the Frobenius norm.
+func NormFro(a *Dense) float64 {
+	var s float64
+	for j := 0; j < a.Cols; j++ {
+		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
+		for _, v := range col {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

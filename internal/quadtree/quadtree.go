@@ -1,0 +1,253 @@
+// Package quadtree implements the Frens–Wise representation the paper
+// argues against (Sections 1, 4, 6): a matrix as an element-level
+// quadtree with physically represented internal nodes, where empty
+// (all-zero) subtrees are elided so that the algebra is "directed around
+// zeroes (as additive identities and multiplicative annihilators)".
+//
+// The paper's position is that carrying the recursion to single elements
+// wastes an order of magnitude of performance compared to stopping at
+// cache-sized tiles; this package exists as the honest baseline for that
+// comparison (BenchmarkAblationQuadtreeBaseline at the repository root)
+// and as the sparse-friendly variant the elision scheme is actually good
+// for.
+package quadtree
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/matrix"
+)
+
+// node is one quadtree node. Exactly one of the two forms is active:
+// a leaf (size 1) holds a value; an internal node holds four children in
+// NW, NE, SW, SE order, any of which may be nil to denote an all-zero
+// subtree.
+type node struct {
+	val  float64
+	kids *[4]*node
+}
+
+// Matrix is an element-level quadtree over a padded 2^k × 2^k index
+// space covering a logical rows × cols matrix. A nil root denotes the
+// zero matrix.
+type Matrix struct {
+	rows, cols int
+	size       int // padded extent, power of two
+	root       *node
+}
+
+// New returns the zero matrix of the given logical shape.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("quadtree: bad shape %dx%d", rows, cols))
+	}
+	ext := rows
+	if cols > ext {
+		ext = cols
+	}
+	return &Matrix{rows: rows, cols: cols, size: bits.NextPow2(ext)}
+}
+
+// Rows and Cols return the logical shape.
+func (m *Matrix) Rows() int { return m.rows }
+func (m *Matrix) Cols() int { return m.cols }
+
+// FromDense builds a quadtree from a column-major matrix, eliding zero
+// subtrees.
+func FromDense(d *matrix.Dense) *Matrix {
+	m := New(d.Rows, d.Cols)
+	m.root = build(d, 0, 0, m.size)
+	return m
+}
+
+func build(d *matrix.Dense, i0, j0, size int) *node {
+	if i0 >= d.Rows || j0 >= d.Cols {
+		return nil
+	}
+	if size == 1 {
+		v := d.At(i0, j0)
+		if v == 0 {
+			return nil
+		}
+		return &node{val: v}
+	}
+	h := size / 2
+	kids := [4]*node{
+		build(d, i0, j0, h),
+		build(d, i0, j0+h, h),
+		build(d, i0+h, j0, h),
+		build(d, i0+h, j0+h, h),
+	}
+	if kids[0] == nil && kids[1] == nil && kids[2] == nil && kids[3] == nil {
+		return nil
+	}
+	return &node{kids: &kids}
+}
+
+// ToDense materializes the quadtree as a column-major matrix.
+func (m *Matrix) ToDense() *matrix.Dense {
+	d := matrix.New(m.rows, m.cols)
+	m.walk(m.root, 0, 0, m.size, func(i, j int, v float64) {
+		if i < m.rows && j < m.cols {
+			d.Set(i, j, v)
+		}
+	})
+	return d
+}
+
+func (m *Matrix) walk(n *node, i0, j0, size int, f func(i, j int, v float64)) {
+	if n == nil {
+		return
+	}
+	if size == 1 {
+		f(i0, j0, n.val)
+		return
+	}
+	h := size / 2
+	m.walk(n.kids[0], i0, j0, h, f)
+	m.walk(n.kids[1], i0, j0+h, h, f)
+	m.walk(n.kids[2], i0+h, j0, h, f)
+	m.walk(n.kids[3], i0+h, j0+h, h, f)
+}
+
+// At returns logical element (i, j), walking the tree from the root —
+// the O(lg n) per-element addressing cost that motivates the paper's
+// "dope vector" question.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || j < 0 || i >= m.rows || j >= m.cols {
+		panic(fmt.Sprintf("quadtree: At(%d,%d) outside %dx%d", i, j, m.rows, m.cols))
+	}
+	n := m.root
+	size := m.size
+	for n != nil && size > 1 {
+		h := size / 2
+		q := 0
+		if i >= h {
+			q |= 2
+			i -= h
+		}
+		if j >= h {
+			q |= 1
+			j -= h
+		}
+		n = n.kids[q]
+		size = h
+	}
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+// Nodes counts physically represented nodes — the storage overhead of
+// maintaining the internal tree, which the tiled layouts avoid entirely.
+func (m *Matrix) Nodes() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.kids == nil {
+			return 1
+		}
+		return 1 + count(n.kids[0]) + count(n.kids[1]) + count(n.kids[2]) + count(n.kids[3])
+	}
+	return count(m.root)
+}
+
+// grown returns the root embedded (as the NW subtree of successive
+// parents) in a padded extent of at least size, so that operands with
+// different padded extents conform. Trees are immutable after
+// construction, so subtree sharing is safe.
+func (m *Matrix) grown(size int) *node {
+	r, s := m.root, m.size
+	for s < size {
+		if r != nil {
+			r = &node{kids: &[4]*node{r, nil, nil, nil}}
+		}
+		s *= 2
+	}
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Add returns a + b. Zero subtrees are additive identities: the shared
+// subtree of the other operand is reused without copying, which is the
+// pay-off of the Frens–Wise flags for sparse patches.
+func Add(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("quadtree: add %dx%d + %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	size := maxInt(a.size, b.size)
+	return &Matrix{rows: a.rows, cols: a.cols, size: size, root: addNode(a.grown(size), b.grown(size), size)}
+}
+
+func addNode(x, y *node, size int) *node {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	if size == 1 {
+		v := x.val + y.val
+		if v == 0 {
+			return nil
+		}
+		return &node{val: v}
+	}
+	h := size / 2
+	kids := [4]*node{
+		addNode(x.kids[0], y.kids[0], h),
+		addNode(x.kids[1], y.kids[1], h),
+		addNode(x.kids[2], y.kids[2], h),
+		addNode(x.kids[3], y.kids[3], h),
+	}
+	if kids[0] == nil && kids[1] == nil && kids[2] == nil && kids[3] == nil {
+		return nil
+	}
+	return &node{kids: &kids}
+}
+
+// Mul returns a·b with the standard eight-product recursion carried to
+// single elements, zero subtrees acting as multiplicative annihilators.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("quadtree: mul %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	size := maxInt(a.size, b.size)
+	return &Matrix{rows: a.rows, cols: b.cols, size: size, root: mulNode(a.grown(size), b.grown(size), size)}
+}
+
+func mulNode(x, y *node, size int) *node {
+	if x == nil || y == nil {
+		return nil // multiplicative annihilator: skip the whole subtree
+	}
+	if size == 1 {
+		v := x.val * y.val
+		if v == 0 {
+			return nil
+		}
+		return &node{val: v}
+	}
+	h := size / 2
+	// C_q = A_q1·B_1q' + A_q2·B_2q' via the elision-aware add.
+	mm := func(p, q *node) *node { return mulNode(p, q, h) }
+	kids := [4]*node{
+		addNode(mm(x.kids[0], y.kids[0]), mm(x.kids[1], y.kids[2]), h),
+		addNode(mm(x.kids[0], y.kids[1]), mm(x.kids[1], y.kids[3]), h),
+		addNode(mm(x.kids[2], y.kids[0]), mm(x.kids[3], y.kids[2]), h),
+		addNode(mm(x.kids[2], y.kids[1]), mm(x.kids[3], y.kids[3]), h),
+	}
+	if kids[0] == nil && kids[1] == nil && kids[2] == nil && kids[3] == nil {
+		return nil
+	}
+	return &node{kids: &kids}
+}

@@ -1,0 +1,199 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range [][2]int{{1, 1}, {4, 4}, {7, 5}, {16, 16}, {33, 9}} {
+		d := matrix.Random(sh[0], sh[1], rng)
+		q := FromDense(d)
+		back := q.ToDense()
+		if !matrix.Equal(back, d, 0) {
+			t.Errorf("%v: round trip failed", sh)
+		}
+	}
+}
+
+func TestAtMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := matrix.Random(13, 21, rng)
+	q := FromDense(d)
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 21; j++ {
+			if q.At(i, j) != d.At(i, j) {
+				t.Fatalf("At(%d,%d) = %g, want %g", i, j, q.At(i, j), d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAtBounds(t *testing.T) {
+	q := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds At should panic")
+		}
+	}()
+	q.At(3, 0)
+}
+
+func TestZeroElision(t *testing.T) {
+	// The zero matrix is a nil root; a sparse matrix uses few nodes.
+	z := FromDense(matrix.New(16, 16))
+	if z.Nodes() != 0 {
+		t.Fatalf("zero matrix has %d nodes", z.Nodes())
+	}
+	d := matrix.New(16, 16)
+	d.Set(5, 9, 1)
+	q := FromDense(d)
+	// One path from root to leaf: 4 internal nodes + 1 leaf.
+	if q.Nodes() != 5 {
+		t.Fatalf("single-element matrix has %d nodes, want 5", q.Nodes())
+	}
+	dense := FromDense(matrix.Sequential(16, 16))
+	if dense.Nodes() <= 256 {
+		t.Fatalf("dense matrix has only %d nodes", dense.Nodes())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.Random(10, 14, rng)
+	b := matrix.Random(10, 14, rng)
+	sum := Add(FromDense(a), FromDense(b)).ToDense()
+	want := matrix.New(10, 14)
+	matrix.Add(want, a, b)
+	if !matrix.Equal(sum, want, 0) {
+		t.Fatal("quadtree add wrong")
+	}
+}
+
+func TestAddCancellationElides(t *testing.T) {
+	d := matrix.Sequential(8, 8)
+	neg := d.Clone()
+	neg.Scale(-1)
+	z := Add(FromDense(d), FromDense(neg))
+	if z.Nodes() != 0 {
+		t.Fatalf("x + (-x) left %d nodes", z.Nodes())
+	}
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shapes := [][3]int{{4, 4, 4}, {8, 8, 8}, {5, 7, 3}, {16, 2, 11}, {1, 9, 1}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		A := matrix.Random(m, k, rng)
+		B := matrix.Random(k, n, rng)
+		got := Mul(FromDense(A), FromDense(B)).ToDense()
+		want := matrix.New(m, n)
+		matrix.RefMulAdd(want, A, B)
+		if !matrix.Equal(got, want, 1e-12) {
+			t.Errorf("%v: quadtree mul wrong (max diff %g)", sh, matrix.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestMulAnnihilatesZeros(t *testing.T) {
+	// Multiplying by a matrix with a zero quadrant must skip work: the
+	// result has no nodes under the annihilated region.
+	a := matrix.New(8, 8)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, 1) // only the NW quadrant of A is non-zero
+		}
+	}
+	b := matrix.Sequential(8, 8)
+	got := Mul(FromDense(a), FromDense(b))
+	want := matrix.New(8, 8)
+	matrix.RefMulAdd(want, a, b)
+	if !matrix.Equal(got.ToDense(), want, 1e-12) {
+		t.Fatal("sparse mul wrong")
+	}
+	// Rows 4-7 of the result are zero; they must not be materialized.
+	full := Mul(FromDense(matrix.Sequential(8, 8)), FromDense(b))
+	if got.Nodes() >= full.Nodes() {
+		t.Errorf("sparse product has %d nodes, dense has %d — no elision benefit",
+			got.Nodes(), full.Nodes())
+	}
+}
+
+func TestMixedExtents(t *testing.T) {
+	// Operands whose padded extents differ must still conform.
+	rng := rand.New(rand.NewSource(5))
+	A := matrix.Random(3, 2, rng) // extent 4
+	B := matrix.Random(2, 9, rng) // extent 16
+	got := Mul(FromDense(A), FromDense(B)).ToDense()
+	want := matrix.New(3, 9)
+	matrix.RefMulAdd(want, A, B)
+	if !matrix.Equal(got, want, 1e-12) {
+		t.Fatal("mixed-extent mul wrong")
+	}
+	sum := Add(FromDense(matrix.Random(3, 9, rng)), FromDense(matrix.New(3, 9)))
+	if sum.Rows() != 3 || sum.Cols() != 9 {
+		t.Fatal("mixed-extent add shape wrong")
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	for name, f := range map[string]func(){
+		"add": func() { Add(New(2, 2), New(3, 2)) },
+		"mul": func() { Mul(New(2, 3), New(2, 3)) },
+		"new": func() { New(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: shape error did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMulProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		A := matrix.Random(m, k, rng)
+		B := matrix.Random(k, n, rng)
+		// Sparsify to exercise the elision paths.
+		for idx := range A.Data {
+			if rng.Intn(3) == 0 {
+				A.Data[idx] = 0
+			}
+		}
+		got := Mul(FromDense(A), FromDense(B)).ToDense()
+		want := matrix.New(m, n)
+		matrix.RefMulAdd(want, A, B)
+		return matrix.Equal(got, want, 1e-12)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQuadtreeMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	A := FromDense(matrix.Random(64, 64, rng))
+	B := FromDense(matrix.Random(64, 64, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(A, B)
+	}
+}
+
+func BenchmarkQuadtreeFromDense256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := matrix.Random(256, 256, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromDense(d)
+	}
+}

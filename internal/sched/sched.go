@@ -1,0 +1,370 @@
+// Package sched is the parallel runtime substrate standing in for the
+// Cilk 5.2.1 system the paper used (Section 2 and the "critique of Cilk"
+// in Section 5). It provides nested fork–join parallelism over a fixed
+// pool of workers, each with its own work-stealing deque, plus the
+// work/span ("critical path") accounting that Cilk's instrumentation
+// provided and that the paper used to estimate available parallelism
+// (≈40 processors' worth for the standard algorithm at n=1000, ≈23 for
+// the fast algorithms).
+//
+// The scheduling discipline is help-first: a frame that reaches its sync
+// point does not block — it executes tasks from its own deque and then
+// steals from random victims until its children have completed. Steals
+// take the oldest task (the largest unexplored subtree), spawns push the
+// newest, matching the Cilk heuristic that stolen work is coarse.
+//
+// Like Cilk, the runtime propagates exceptions (panics) from spawned
+// tasks to their sync point, and the same code runs unchanged on one
+// worker for serial measurements.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a fixed set of worker goroutines executing fork–join task
+// graphs. A Pool is created with NewPool, used through Run, and released
+// with Close.
+type Pool struct {
+	workers []*worker
+	inject  chan *task
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	// Runtime counters (the analogue of the Cilk instrumentation the
+	// paper's critique discusses). Updated with atomics; read with
+	// Stats.
+	spawns atomic.Int64 // tasks pushed to a deque
+	steals atomic.Int64 // tasks taken from another worker's deque
+	inline atomic.Int64 // first-child frames run inline at the spawn site
+}
+
+// PoolStats is a snapshot of the pool's scheduling counters.
+type PoolStats struct {
+	// Spawns counts tasks made available for stealing (deque pushes).
+	Spawns int64
+	// Steals counts tasks executed by a worker other than the one that
+	// spawned them. Steals/Spawns is the migration rate; Cilk's
+	// work-first principle predicts it stays small when parallelism
+	// greatly exceeds the worker count.
+	Steals int64
+	// Inline counts frames executed directly at their spawn site.
+	Inline int64
+}
+
+// Stats returns a snapshot of the scheduling counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Spawns: p.spawns.Load(), Steals: p.steals.Load(), Inline: p.inline.Load()}
+}
+
+// ResetStats zeroes the scheduling counters.
+func (p *Pool) ResetStats() {
+	p.spawns.Store(0)
+	p.steals.Store(0)
+	p.inline.Store(0)
+}
+
+// task is one spawned unit of work. ctx is bound to the executing worker
+// at run time.
+type task struct {
+	fn   func(*Ctx)
+	join *join
+	ctx  *Ctx
+}
+
+// join is the synchronization point of one Parallel call.
+type join struct {
+	pending atomic.Int64
+	panicMu sync.Mutex
+	panics  []any
+}
+
+func (j *join) recordPanic(v any) {
+	j.panicMu.Lock()
+	j.panics = append(j.panics, v)
+	j.panicMu.Unlock()
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	mu   sync.Mutex
+	dq   []*task // owner pushes/pops at the tail; thieves steal the head
+	seed uint64
+}
+
+// Ctx is the execution context of one task frame. It carries the
+// work/span accumulators of the critical-path instrumentation; the
+// algorithms report their leaf work through Account, and Parallel folds
+// children's totals into the parent (sum for work, max for span).
+type Ctx struct {
+	w    *worker
+	pool *Pool
+	// Work is the total work (in caller-chosen units, e.g. flops)
+	// accounted in this frame and its completed children.
+	Work float64
+	// Span is the critical-path length of this frame in the same units.
+	Span float64
+}
+
+// NewPool creates a pool with the given number of workers. Workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		inject: make(chan *task, 64),
+		done:   make(chan struct{}),
+	}
+	p.workers = make([]*worker, workers)
+	for i := range p.workers {
+		p.workers[i] = &worker{pool: p, id: i, seed: uint64(i)*0x9E3779B97F4A7C15 + 1}
+	}
+	p.wg.Add(workers)
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Close shuts the pool down. It must not be called concurrently with Run.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.done)
+		p.wg.Wait()
+	}
+}
+
+// Run executes fn on the pool and blocks until it (and everything it
+// spawned) completes. It returns the accounted work and span of the run.
+// A panic in any task is re-raised in the caller.
+func (p *Pool) Run(fn func(*Ctx)) (work, span float64) {
+	if p.closed.Load() {
+		panic("sched: Run on closed pool")
+	}
+	j := &join{}
+	j.pending.Store(1)
+	ctx := &Ctx{pool: p}
+	t := &task{fn: fn, join: j, ctx: ctx}
+	finished := make(chan struct{})
+	go func() {
+		// Waiter goroutine: cheap poll is fine since Run is coarse.
+		for j.pending.Load() != 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+		close(finished)
+	}()
+	p.inject <- t
+	<-finished
+	if len(j.panics) > 0 {
+		panic(j.panics[0])
+	}
+	return ctx.Work, ctx.Span
+}
+
+// push adds a task to the owner's end of the deque.
+func (w *worker) push(t *task) {
+	w.mu.Lock()
+	w.dq = append(w.dq, t)
+	w.mu.Unlock()
+	w.pool.spawns.Add(1)
+}
+
+// pop removes the most recently pushed task (LIFO), or nil.
+func (w *worker) pop() *task {
+	w.mu.Lock()
+	n := len(w.dq)
+	if n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	t := w.dq[n-1]
+	w.dq[n-1] = nil
+	w.dq = w.dq[:n-1]
+	w.mu.Unlock()
+	return t
+}
+
+// stealFrom removes the oldest task (FIFO) from v's deque, or nil.
+func (w *worker) stealFrom(v *worker) *task {
+	v.mu.Lock()
+	if len(v.dq) == 0 {
+		v.mu.Unlock()
+		return nil
+	}
+	t := v.dq[0]
+	v.dq[0] = nil
+	v.dq = v.dq[1:]
+	v.mu.Unlock()
+	return t
+}
+
+// nextVictim is a xorshift step over the worker's private seed.
+func (w *worker) nextVictim() *worker {
+	w.seed ^= w.seed << 13
+	w.seed ^= w.seed >> 7
+	w.seed ^= w.seed << 17
+	return w.pool.workers[w.seed%uint64(len(w.pool.workers))]
+}
+
+// findTask looks for runnable work: own deque first, then a round of
+// random steals, then the injection queue.
+func (w *worker) findTask() *task {
+	if t := w.pop(); t != nil {
+		return t
+	}
+	for try := 0; try < 2*len(w.pool.workers); try++ {
+		v := w.nextVictim()
+		if v != w {
+			if t := w.stealFrom(v); t != nil {
+				w.pool.steals.Add(1)
+				return t
+			}
+		}
+	}
+	select {
+	case t := <-w.pool.inject:
+		return t
+	default:
+		return nil
+	}
+}
+
+// run executes one task, binding its context to this worker, recording
+// panics into the task's join, and signalling completion.
+func (w *worker) run(t *task) {
+	t.ctx.w = w
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.join.recordPanic(r)
+			}
+		}()
+		t.fn(t.ctx)
+	}()
+	t.join.pending.Add(-1)
+}
+
+// loop is the worker main loop: execute available work, back off when
+// idle, exit when the pool closes.
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	idle := 0
+	for {
+		select {
+		case <-w.pool.done:
+			return
+		default:
+		}
+		if t := w.findTask(); t != nil {
+			idle = 0
+			w.run(t)
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			select {
+			case <-w.pool.done:
+				return
+			case t := <-w.pool.inject:
+				idle = 0
+				w.run(t)
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
+}
+
+// Account adds w units of serial work to the frame: both the work and
+// the span grow, since work inside a frame is sequential.
+func (c *Ctx) Account(w float64) {
+	c.Work += w
+	c.Span += w
+}
+
+// Parallel runs the given functions as parallel children of this frame
+// and returns when all of them have completed (the spawn/sync idiom of
+// Cilk). The first function runs inline on the current worker; the rest
+// are pushed onto its deque where idle workers can steal them. Panics in
+// any child are re-raised here after all children finish. Children's
+// work sums into this frame; the maximum child span extends this frame's
+// span.
+func (c *Ctx) Parallel(fns ...func(*Ctx)) {
+	if len(fns) == 0 {
+		return
+	}
+	j := &join{}
+	j.pending.Store(int64(len(fns)))
+	children := make([]*Ctx, len(fns))
+	for i := len(fns) - 1; i >= 1; i-- {
+		children[i] = &Ctx{pool: c.pool}
+		c.w.push(&task{fn: fns[i], join: j, ctx: children[i]})
+	}
+	// Run the first child inline through the same panic-capturing path.
+	children[0] = &Ctx{pool: c.pool}
+	inline := &task{fn: fns[0], join: j, ctx: children[0]}
+	c.pool.inline.Add(1)
+	c.w.run(inline)
+
+	// Help-first sync: execute anything runnable until children finish.
+	idle := 0
+	for j.pending.Load() != 0 {
+		if t := c.w.findTask(); t != nil {
+			idle = 0
+			c.w.run(t)
+			continue
+		}
+		idle++
+		if idle < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	var maxSpan float64
+	for _, ch := range children {
+		c.Work += ch.Work
+		if ch.Span > maxSpan {
+			maxSpan = ch.Span
+		}
+	}
+	c.Span += maxSpan
+	if len(j.panics) > 0 {
+		panic(j.panics[0])
+	}
+}
+
+// Serial runs fn as a child frame without exposing any parallelism; its
+// work and span both accumulate into the current frame. It exists so
+// that instrumented code can delimit frames uniformly.
+func (c *Ctx) Serial(fn func(*Ctx)) {
+	child := &Ctx{pool: c.pool, w: c.w}
+	fn(child)
+	c.Work += child.Work
+	c.Span += child.Span
+}
+
+// Parallelism returns work/span, guarding against a zero span.
+func Parallelism(work, span float64) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return work / span
+}
+
+// String implements fmt.Stringer for debugging.
+func (p *Pool) String() string {
+	return fmt.Sprintf("sched.Pool{workers: %d}", len(p.workers))
+}

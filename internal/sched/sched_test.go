@@ -1,0 +1,378 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutes(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var ran atomic.Bool
+	p.Run(func(c *Ctx) { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("root task did not run")
+	}
+}
+
+func TestParallelRunsAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count atomic.Int64
+	p.Run(func(c *Ctx) {
+		fns := make([]func(*Ctx), 16)
+		for i := range fns {
+			fns[i] = func(c *Ctx) { count.Add(1) }
+		}
+		c.Parallel(fns...)
+	})
+	if count.Load() != 16 {
+		t.Fatalf("ran %d of 16 children", count.Load())
+	}
+}
+
+func TestNestedParallel(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count atomic.Int64
+	var spawn func(depth int) func(*Ctx)
+	spawn = func(depth int) func(*Ctx) {
+		return func(c *Ctx) {
+			if depth == 0 {
+				count.Add(1)
+				return
+			}
+			c.Parallel(spawn(depth-1), spawn(depth-1), spawn(depth-1), spawn(depth-1))
+		}
+	}
+	p.Run(spawn(5))
+	if count.Load() != 1024 {
+		t.Fatalf("ran %d of 1024 leaves", count.Load())
+	}
+}
+
+func TestParallelSyncsBeforeReturn(t *testing.T) {
+	// Everything spawned must be complete when Parallel returns.
+	p := NewPool(4)
+	defer p.Close()
+	p.Run(func(c *Ctx) {
+		for iter := 0; iter < 50; iter++ {
+			var done [8]atomic.Bool
+			fns := make([]func(*Ctx), 8)
+			for i := range fns {
+				i := i
+				fns[i] = func(c *Ctx) {
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+					done[i].Store(true)
+				}
+			}
+			c.Parallel(fns...)
+			for i := range done {
+				if !done[i].Load() {
+					t.Errorf("iter %d: child %d incomplete at sync", iter, i)
+				}
+			}
+		}
+	})
+}
+
+func TestActualParallelismOccurs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	p := NewPool(2)
+	defer p.Close()
+	// Two children that must overlap in time: each waits for the other
+	// to have started. With real parallelism this completes; a serial
+	// scheduler would deadlock (we bound it with a timeout).
+	var aStarted, bStarted atomic.Bool
+	doneCh := make(chan struct{})
+	go func() {
+		p.Run(func(c *Ctx) {
+			c.Parallel(
+				func(c *Ctx) {
+					aStarted.Store(true)
+					for !bStarted.Load() {
+						runtime.Gosched()
+					}
+				},
+				func(c *Ctx) {
+					bStarted.Store(true)
+					for !aStarted.Load() {
+						runtime.Gosched()
+					}
+				},
+			)
+		})
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("children did not run concurrently on 2 workers")
+	}
+}
+
+func TestSerialPoolCorrectness(t *testing.T) {
+	// The same nested task graph must complete on one worker.
+	p := NewPool(1)
+	defer p.Close()
+	var count atomic.Int64
+	var spawn func(depth int) func(*Ctx)
+	spawn = func(depth int) func(*Ctx) {
+		return func(c *Ctx) {
+			if depth == 0 {
+				count.Add(1)
+				return
+			}
+			c.Parallel(spawn(depth-1), spawn(depth-1))
+		}
+	}
+	p.Run(spawn(8))
+	if count.Load() != 256 {
+		t.Fatalf("ran %d of 256 leaves", count.Load())
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.Run(func(c *Ctx) {
+		c.Parallel(
+			func(c *Ctx) {},
+			func(c *Ctx) { panic("boom") },
+			func(c *Ctx) {},
+		)
+	})
+	t.Fatal("panic did not propagate")
+}
+
+func TestPanicInNestedChild(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "deep" {
+			t.Fatalf("recovered %v, want deep", r)
+		}
+	}()
+	p.Run(func(c *Ctx) {
+		c.Parallel(func(c *Ctx) {
+			c.Parallel(func(c *Ctx) {
+				c.Parallel(func(c *Ctx) { panic("deep") })
+			})
+		})
+	})
+	t.Fatal("nested panic did not propagate")
+}
+
+func TestPoolSurvivesPanic(t *testing.T) {
+	// After a panicking run, the pool must still execute new work.
+	p := NewPool(2)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.Run(func(c *Ctx) { panic("first") })
+	}()
+	var ok atomic.Bool
+	p.Run(func(c *Ctx) { ok.Store(true) })
+	if !ok.Load() {
+		t.Fatal("pool unusable after panic")
+	}
+}
+
+func TestWorkSpanAccounting(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	// Frame: 10 units serial, then 4 parallel children of 5 units each,
+	// then 3 units serial. Work = 10+20+3 = 33; span = 10+5+3 = 18.
+	work, span := p.Run(func(c *Ctx) {
+		c.Account(10)
+		ch := func(c *Ctx) { c.Account(5) }
+		c.Parallel(ch, ch, ch, ch)
+		c.Account(3)
+	})
+	if work != 33 {
+		t.Errorf("work = %g, want 33", work)
+	}
+	if span != 18 {
+		t.Errorf("span = %g, want 18", span)
+	}
+}
+
+func TestWorkSpanNested(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Balanced binary recursion, depth 3, 1 unit per leaf:
+	// work = 8, span = 1 (all serial segments are at leaves).
+	var spawn func(depth int) func(*Ctx)
+	spawn = func(depth int) func(*Ctx) {
+		return func(c *Ctx) {
+			if depth == 0 {
+				c.Account(1)
+				return
+			}
+			c.Parallel(spawn(depth-1), spawn(depth-1))
+		}
+	}
+	work, span := p.Run(spawn(3))
+	if work != 8 || span != 1 {
+		t.Errorf("work,span = %g,%g; want 8,1", work, span)
+	}
+	if Parallelism(work, span) != 8 {
+		t.Errorf("parallelism = %g, want 8", Parallelism(work, span))
+	}
+}
+
+func TestSerialFrame(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	work, span := p.Run(func(c *Ctx) {
+		c.Serial(func(c *Ctx) { c.Account(4) })
+		c.Serial(func(c *Ctx) { c.Account(6) })
+	})
+	if work != 10 || span != 10 {
+		t.Errorf("work,span = %g,%g; want 10,10", work, span)
+	}
+}
+
+func TestParallelismGuard(t *testing.T) {
+	if Parallelism(10, 0) != 0 {
+		t.Fatal("zero span should yield zero parallelism")
+	}
+}
+
+func TestWorkersCount(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	q := NewPool(0)
+	defer q.Close()
+	if q.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d", q.Workers())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic or hang
+}
+
+func TestRunAfterCloseRejected(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on closed pool should panic")
+		}
+	}()
+	p.Run(func(c *Ctx) {})
+}
+
+func TestManySequentialRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Run(func(c *Ctx) {
+			c.Parallel(
+				func(c *Ctx) { total.Add(1) },
+				func(c *Ctx) { total.Add(1) },
+			)
+		})
+	}
+	if total.Load() != 200 {
+		t.Fatalf("total = %d, want 200", total.Load())
+	}
+}
+
+func TestLoadDistribution(t *testing.T) {
+	// With enough coarse tasks, more than one worker must participate.
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	p := NewPool(2)
+	defer p.Close()
+	var perWorker [2]atomic.Int64
+	p.Run(func(c *Ctx) {
+		fns := make([]func(*Ctx), 32)
+		for i := range fns {
+			fns[i] = func(c *Ctx) {
+				perWorker[c.w.id].Add(1)
+				busy := time.Now()
+				for time.Since(busy) < 2*time.Millisecond {
+				}
+			}
+		}
+		c.Parallel(fns...)
+	})
+	if perWorker[0].Load() == 0 || perWorker[1].Load() == 0 {
+		t.Errorf("work not stolen: distribution %d/%d", perWorker[0].Load(), perWorker[1].Load())
+	}
+}
+
+func BenchmarkSpawnSyncOverhead(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	b.ResetTimer()
+	p.Run(func(c *Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.Parallel(func(c *Ctx) {}, func(c *Ctx) {})
+		}
+	})
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Run(func(c *Ctx) {
+		c.Parallel(
+			func(c *Ctx) {},
+			func(c *Ctx) {},
+			func(c *Ctx) {},
+		)
+	})
+	st := p.Stats()
+	// Three children: one inline, two pushed.
+	if st.Inline != 1 || st.Spawns != 2 {
+		t.Fatalf("stats = %+v, want 1 inline / 2 spawns", st)
+	}
+	if st.Steals < 0 || st.Steals > st.Spawns {
+		t.Fatalf("steals %d out of range", st.Steals)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st.Spawns != 0 || st.Inline != 0 || st.Steals != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestStealsOccurUnderLoad(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	p := NewPool(2)
+	defer p.Close()
+	p.Run(func(c *Ctx) {
+		fns := make([]func(*Ctx), 64)
+		for i := range fns {
+			fns[i] = func(c *Ctx) {
+				busy := time.Now()
+				for time.Since(busy) < time.Millisecond {
+				}
+			}
+		}
+		c.Parallel(fns...)
+	})
+	if p.Stats().Steals == 0 {
+		t.Error("no steals under 64 coarse tasks on 2 workers")
+	}
+}

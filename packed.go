@@ -1,0 +1,102 @@
+package recmat
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tile"
+)
+
+// Packed is a matrix kept resident in a recursive layout across calls —
+// the usage model Frens and Wise assumed ("all matrices would be
+// organized in quad-tree fashion") and that the paper's honest
+// accounting contrasts with the convert-at-the-interface model. When a
+// chain of multiplications reuses operands, packing once and multiplying
+// many times amortizes the conversion cost that Mul/DGEMM pay per call.
+//
+// A Packed is created by an Engine for a specific layout and tiling and
+// may only be combined with Packed matrices of the same provenance.
+type Packed struct {
+	t    *core.Tiled
+	opts core.Options
+}
+
+// PackOptions controls packing. Layout must be one of the recursive
+// layouts; tile selection follows the same rules as Mul.
+func (e *Engine) Pack(A *Matrix, opts *Options) (*Packed, error) {
+	o := opts.coreOptions()
+	if !o.Curve.Recursive() {
+		return nil, fmt.Errorf("recmat: Pack requires a recursive layout, got %v", o.Curve)
+	}
+	cfg := o.Tile
+	if cfg == (tile.Config{}) {
+		cfg = tile.DefaultConfig
+	}
+	var d uint
+	var tr, tc int
+	if o.ForceTile > 0 {
+		tr, tc = o.ForceTile, o.ForceTile
+		for (tr<<d) < A.Rows || (tc<<d) < A.Cols {
+			d++
+		}
+	} else {
+		ch := cfg.Pick(A.Rows, A.Cols)
+		d, tr, tc = ch.D, ch.Tiles[0], ch.Tiles[1]
+	}
+	t := core.NewTiled(o.Curve, d, tr, tc, A.Rows, A.Cols)
+	t.Pack(e.pool, A, false, 1)
+	return &Packed{t: t, opts: o}, nil
+}
+
+// Rows and Cols return the logical shape.
+func (p *Packed) Rows() int { return p.t.Rows }
+func (p *Packed) Cols() int { return p.t.Cols }
+
+// Layout returns the packed layout.
+func (p *Packed) Layout() Layout { return p.t.Curve }
+
+// Unpack converts back to a column-major matrix.
+func (p *Packed) Unpack(e *Engine) *Matrix {
+	d := NewMatrix(p.t.Rows, p.t.Cols)
+	p.t.Unpack(e.pool, d)
+	return d
+}
+
+// At reads one element through the layout function (slow; for spot
+// checks, not inner loops).
+func (p *Packed) At(i, j int) float64 { return p.t.At(i, j) }
+
+// NewPackedResult allocates a zeroed Packed conformable as the product
+// of a and b (a.Rows × b.Cols, tiles a.TR × b.TC).
+func (e *Engine) NewPackedResult(a, b *Packed) (*Packed, error) {
+	if err := conformable(a, b); err != nil {
+		return nil, err
+	}
+	t := core.NewTiled(a.t.Curve, a.t.D, a.t.TR, b.t.TC, a.t.Rows, b.t.Cols)
+	return &Packed{t: t, opts: a.opts}, nil
+}
+
+func conformable(a, b *Packed) error {
+	if a.t.Curve != b.t.Curve {
+		return fmt.Errorf("recmat: packed layouts differ: %v vs %v", a.t.Curve, b.t.Curve)
+	}
+	if a.t.D != b.t.D {
+		return fmt.Errorf("recmat: packed depths differ: %d vs %d", a.t.D, b.t.D)
+	}
+	if a.t.TC != b.t.TR {
+		return fmt.Errorf("recmat: packed tiles do not conform: %dx%d · %dx%d",
+			a.t.TR, a.t.TC, b.t.TR, b.t.TC)
+	}
+	return nil
+}
+
+// MulPacked computes C += A·B entirely in the packed layout: no
+// conversion happens, so the Report's conversion fields are zero. The
+// operands must have been packed with the same layout, depth, and
+// conforming tile shapes (pack both inputs with the same ForceTile, or
+// pack square same-size matrices, to guarantee this).
+func (e *Engine) MulPacked(C, A, B *Packed, opts *Options) (*Report, error) {
+	o := opts.coreOptions()
+	o.Curve = C.t.Curve
+	return core.MulTiled(e.pool, o, C.t, A.t, B.t)
+}

@@ -1,0 +1,210 @@
+// Package recmat is a parallel dense matrix multiplication library built
+// on recursive array layouts, reproducing Chatterjee, Lebeck, Patnala,
+// and Thottethodi, "Recursive Array Layouts and Fast Parallel Matrix
+// Multiplication" (SPAA 1999).
+//
+// The library multiplies double-precision matrices with the standard,
+// Strassen, or Winograd recursive algorithms over six array layouts: the
+// canonical column-major layout of the BLAS, and five recursive layouts
+// derived from space-filling curves (U-Morton, X-Morton, Z-Morton,
+// Gray-Morton, Hilbert). The public entry points follow the Level 3 BLAS
+// dgemm convention: operands are column-major with explicit leading
+// dimensions, and the operation is C ← α·op(A)·op(B) + β·C. Conversion
+// between the caller's column-major data and the internal recursive
+// layout happens inside the call and is reported separately in the
+// returned Report, so the cost of adopting a recursive layout is never
+// hidden.
+//
+// # Quick start
+//
+//	eng := recmat.NewEngine(0) // one worker per CPU
+//	defer eng.Close()
+//	A := recmat.Random(1000, 1000, rand.New(rand.NewSource(1)))
+//	B := recmat.Random(1000, 1000, rand.New(rand.NewSource(2)))
+//	C := recmat.NewMatrix(1000, 1000)
+//	report, err := eng.Mul(C, A, B, &recmat.Options{
+//		Layout:    recmat.ZMorton,
+//		Algorithm: recmat.Strassen,
+//	})
+//
+// See the examples directory for complete programs and EXPERIMENTS.md
+// for the reproduction of every figure in the paper.
+package recmat
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/leaf"
+	"repro/internal/matrix"
+	"repro/internal/tile"
+)
+
+// Matrix is a dense, column-major matrix of float64 values with an
+// explicit leading dimension (Stride), matching the BLAS storage
+// convention. Element (i, j) lives at Data[j*Stride+i].
+type Matrix = matrix.Dense
+
+// NewMatrix returns a zeroed m×n matrix with contiguous storage.
+func NewMatrix(m, n int) *Matrix { return matrix.New(m, n) }
+
+// FromSlice wraps existing column-major data (leading dimension ld)
+// without copying.
+func FromSlice(data []float64, m, n, ld int) *Matrix { return matrix.FromSlice(data, m, n, ld) }
+
+// Random returns an m×n matrix with entries uniform in [-1, 1).
+func Random(m, n int, rng *rand.Rand) *Matrix { return matrix.Random(m, n, rng) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix { return matrix.Identity(n) }
+
+// Equal reports element-wise equality within an absolute tolerance.
+func Equal(a, b *Matrix, tol float64) bool { return matrix.Equal(a, b, tol) }
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func MaxAbsDiff(a, b *Matrix) float64 { return matrix.MaxAbsDiff(a, b) }
+
+// RefGEMM is the naive reference implementation of the dgemm operation,
+// exported as a correctness oracle for users of the library.
+func RefGEMM(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix) {
+	matrix.RefGEMM(transA, transB, alpha, A, B, beta, C)
+}
+
+// Layout selects an array layout function (Section 3 of the paper).
+type Layout = layout.Curve
+
+// The supported layouts. ColMajor is the canonical baseline; the five
+// recursive layouts are ordered by increasing addressing complexity.
+const (
+	ColMajor   = layout.ColMajor
+	RowMajor   = layout.RowMajor // visualization only; Mul rejects it
+	UMorton    = layout.UMorton
+	XMorton    = layout.XMorton
+	ZMorton    = layout.ZMorton
+	GrayMorton = layout.GrayMorton
+	Hilbert    = layout.Hilbert
+)
+
+// Layouts lists the layouts accepted by Mul and DGEMM, canonical first.
+var Layouts = []Layout{ColMajor, UMorton, XMorton, ZMorton, GrayMorton, Hilbert}
+
+// ParseLayout resolves a layout name ("ColMajor", "Z-Morton", "z", …).
+func ParseLayout(s string) (Layout, error) { return layout.ParseCurve(s) }
+
+// Algorithm selects a multiplication algorithm (Section 2 of the paper).
+type Algorithm = core.Alg
+
+// The supported algorithms. Standard is the O(n³) recursion in
+// accumulate form; Standard8 is the eight-spawn variant of Figure 1(a);
+// Strassen and Winograd are the O(n^lg7) fast algorithms.
+const (
+	Standard  = core.Standard
+	Standard8 = core.Standard8
+	Strassen  = core.Strassen
+	Winograd  = core.Winograd
+	// StrassenLowMem is the space-conserving sequential Strassen variant
+	// of Section 5 (pre/post-additions interspersed with the recursive
+	// calls); it exposes no parallelism and exists for the ablation that
+	// reproduces the paper's observation that it behaves like the
+	// standard algorithm with respect to layouts.
+	StrassenLowMem = core.StrassenLowMem
+)
+
+// Algorithms lists all supported algorithms.
+var Algorithms = []Algorithm{Standard, Standard8, Strassen, Winograd, StrassenLowMem}
+
+// ParseAlgorithm resolves an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlg(s) }
+
+// TileConfig controls tile-size selection (Section 4): tiles are chosen
+// from [TMin, TMax] so that the padded matrix is a 2^d grid of tiles.
+type TileConfig = tile.Config
+
+// Kernel is a leaf multiplication kernel; see Kernels for the built-ins.
+type Kernel = leaf.Kernel
+
+// Kernels returns the names of the built-in leaf kernels, slowest first:
+// "naive", "unrolled4" (the paper's kernel, the default), "axpy",
+// "blocked" (the register-blocked stand-in for native BLAS).
+func Kernels() []string { return leaf.Names() }
+
+// KernelByName resolves a built-in kernel.
+func KernelByName(name string) (Kernel, error) { return leaf.Get(name) }
+
+// Options configures a multiplication. The zero value multiplies with
+// the standard algorithm on the column-major layout using default tiles.
+type Options struct {
+	// Layout is the array layout; Mul converts operands to it
+	// internally and converts the result back.
+	Layout Layout
+	// Algorithm is the recursion to run.
+	Algorithm Algorithm
+	// Workers overrides the engine's worker count for pool-less calls
+	// (Mul/DGEMM package functions); 0 means one per CPU. Engine
+	// methods ignore it.
+	Workers int
+	// Tile overrides tile-size selection; zero value uses the default
+	// [16, 64] range preferring 32.
+	Tile TileConfig
+	// ForceTile forces an exact square tile size, bypassing selection
+	// (ForceTile=1 reproduces element-level quadtree layouts).
+	ForceTile int
+	// Kernel overrides the leaf kernel (nil = the paper's four-way
+	// unrolled routine).
+	Kernel Kernel
+	// SerialCutoff is the quadrant size in tiles at or below which the
+	// recursion stops spawning parallel tasks (0 = default 4).
+	SerialCutoff int
+	// FastCutoff is the quadrant size in tiles at or below which the
+	// fast algorithms switch to the standard recursion (0 = 1, i.e.
+	// recurse the fast algorithm all the way down, as the paper does).
+	FastCutoff int
+	// DisableSplit turns off wide/lean submatrix decomposition.
+	DisableSplit bool
+}
+
+func (o *Options) coreOptions() core.Options {
+	if o == nil {
+		return core.Options{}
+	}
+	return core.Options{
+		Curve:        o.Layout,
+		Alg:          o.Algorithm,
+		Kernel:       o.Kernel,
+		Tile:         o.Tile,
+		ForceTile:    o.ForceTile,
+		SerialCutoff: o.SerialCutoff,
+		FastCutoff:   o.FastCutoff,
+		DisableSplit: o.DisableSplit,
+	}
+}
+
+// Report describes what a multiplication did: separate conversion and
+// compute wall times (the honest accounting of Section 4), accounted
+// work/span of the task DAG (Work/Span estimates available parallelism,
+// as Cilk's critical-path tracking did), and the tiling chosen.
+type Report = core.Stats
+
+// Mul computes C = A·B with the given options (nil options = defaults).
+// It is shorthand for DGEMM(false, false, 1, A, B, 0, C, opts).
+func Mul(C, A, B *Matrix, opts *Options) (*Report, error) {
+	return DGEMM(false, false, 1, A, B, 0, C, opts)
+}
+
+// DGEMM computes C ← α·op(A)·op(B) + β·C following the Level 3 BLAS
+// convention of the paper's Section 2.1, using a transient worker pool.
+// For repeated calls, create an Engine and use its methods to amortize
+// pool start-up.
+func DGEMM(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
+	e := NewEngine(optWorkers(opts))
+	defer e.Close()
+	return e.DGEMM(transA, transB, alpha, A, B, beta, C, opts)
+}
+
+func optWorkers(opts *Options) int {
+	if opts == nil {
+		return 0
+	}
+	return opts.Workers
+}
