@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test race bench fuzz bench-json
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The kernel acceptance benchmark: packed kernels vs the paper's
+# unrolled4 at the default tile sizes.
+bench:
+	$(GO) test -bench 'Kernel' -benchmem ./internal/leaf
+
+fuzz:
+	$(GO) test -fuzz FuzzKernelsVsNaive -fuzztime 30s ./internal/leaf
+
+# Regenerate the committed benchmark record.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_1.json

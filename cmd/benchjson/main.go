@@ -1,0 +1,181 @@
+// benchjson measures end-to-end GFLOPS for every {algorithm, layout,
+// kernel} combination at fixed problem sizes and writes the results as
+// JSON — the machine-readable record of the repo's performance
+// trajectory (BENCH_1.json at the repo root is its committed output).
+//
+// Usage:
+//
+//	benchjson [-o BENCH_1.json] [-sizes 512,1024] [-reps 2]
+//	          [-algs standard,strassen,winograd] [-kernels unrolled4,blocked,packed8x4,auto]
+//
+// GFLOPS are computed from 2n³ over the end-to-end time (conversion
+// included), so layouts pay for their format conversions — the honest
+// accounting the paper insists on. Compute-only GFLOPS are reported
+// alongside.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	recmat "repro"
+)
+
+type result struct {
+	N         int     `json:"n"`
+	Algorithm string  `json:"algorithm"`
+	Layout    string  `json:"layout"`
+	Kernel    string  `json:"kernel"`
+	// KernelRan is the kernel that actually executed; it differs from
+	// Kernel only for "auto", where it names the calibration winner.
+	KernelRan     string  `json:"kernel_ran"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	GFLOPS        float64 `json:"gflops"`
+	ComputeGFLOPS float64 `json:"compute_gflops"`
+	ConvertShare  float64 `json:"convert_share"`
+}
+
+type output struct {
+	Schema    int      `json:"schema"`
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Workers   int      `json:"workers"`
+	Reps      int      `json:"reps"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output file (- for stdout)")
+	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
+	algsFlag := flag.String("algs", "standard,strassen,winograd", "comma-separated algorithms")
+	kernelsFlag := flag.String("kernels", "unrolled4,blocked,packed8x4,auto", "comma-separated kernels (auto = autotuned)")
+	layoutsFlag := flag.String("layouts", "", "comma-separated layouts (default: all six)")
+	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
+	reps := flag.Int("reps", 2, "repetitions per point (best is kept)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	die(err)
+	var algs []recmat.Algorithm
+	for _, s := range splitList(*algsFlag) {
+		a, err := recmat.ParseAlgorithm(s)
+		die(err)
+		algs = append(algs, a)
+	}
+	layouts := recmat.Layouts
+	if *layoutsFlag != "" {
+		layouts = nil
+		for _, s := range splitList(*layoutsFlag) {
+			lo, err := recmat.ParseLayout(s)
+			die(err)
+			layouts = append(layouts, lo)
+		}
+	}
+	kernels := splitList(*kernelsFlag)
+	for _, kn := range kernels {
+		if kn != "auto" {
+			_, err := recmat.KernelByName(kn)
+			die(err)
+		}
+	}
+
+	eng := recmat.NewEngine(*workers)
+	defer eng.Close()
+	o := output{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   eng.Workers(),
+		Reps:      *reps,
+	}
+
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(*seed))
+		A := recmat.Random(n, n, rng)
+		B := recmat.Random(n, n, rng)
+		C := recmat.NewMatrix(n, n)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		for _, alg := range algs {
+			for _, lo := range layouts {
+				for _, kn := range kernels {
+					opts := &recmat.Options{Layout: lo, Algorithm: alg}
+					if kn != "auto" {
+						opts.KernelName = kn
+					}
+					var best *recmat.Report
+					for r := 0; r < *reps; r++ {
+						rep, err := eng.Mul(C, A, B, opts)
+						die(err)
+						if best == nil || rep.Total() < best.Total() {
+							best = rep
+						}
+					}
+					r := result{
+						N:             n,
+						Algorithm:     alg.String(),
+						Layout:        lo.String(),
+						Kernel:        kn,
+						KernelRan:     best.Kernel,
+						TotalSeconds:  best.Total().Seconds(),
+						GFLOPS:        flops / best.Total().Seconds() / 1e9,
+						ComputeGFLOPS: flops / best.Compute.Seconds() / 1e9,
+						ConvertShare:  float64(best.ConvertIn+best.ConvertOut) / float64(best.Total()),
+					}
+					o.Results = append(o.Results, r)
+					fmt.Fprintf(os.Stderr, "n=%-5d %-9s %-11s %-10s %6.2f GFLOPS (ran %s)\n",
+						n, r.Algorithm, r.Layout, r.Kernel, r.GFLOPS, r.KernelRan)
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(&o, "", "  ")
+	die(err)
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	die(os.WriteFile(*out, buf, 0o644))
+}
+
+func splitList(s string) []string {
+	var parts []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+func parseInts(s string) ([]int, error) {
+	var ns []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		ns = append(ns, v)
+	}
+	return ns, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -26,7 +26,8 @@ func main() {
 	algName := flag.String("alg", "standard", "algorithm: standard|standard8|strassen|winograd")
 	layoutName := flag.String("layout", "z", "layout: c|u|x|z|g|h")
 	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
-	kernelName := flag.String("kernel", "unrolled4", "leaf kernel: naive|unrolled4|axpy|blocked")
+	kernelName := flag.String("kernel", "auto",
+		"leaf kernel: auto|naive|unrolled4|axpy|blocked|packed4x4|packed8x4 (auto = benchmark at first use and pick)")
 	forceTile := flag.Int("tile", 0, "force exact tile size (0 = auto-select)")
 	verify := flag.Bool("verify", false, "check against the naive reference (slow for large n)")
 	alpha := flag.Float64("alpha", 1, "alpha scalar")
@@ -47,8 +48,12 @@ func main() {
 	die(err)
 	lo, err := recmat.ParseLayout(*layoutName)
 	die(err)
-	kern, err := recmat.KernelByName(*kernelName)
-	die(err)
+	kname := ""
+	if *kernelName != "auto" {
+		_, err := recmat.KernelByName(*kernelName) // fail fast on typos
+		die(err)
+		kname = *kernelName
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	ar, ac := *m, *k
@@ -65,7 +70,7 @@ func main() {
 
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
-	opts := &recmat.Options{Layout: lo, Algorithm: alg, Kernel: kern, ForceTile: *forceTile}
+	opts := &recmat.Options{Layout: lo, Algorithm: alg, KernelName: kname, ForceTile: *forceTile}
 
 	var best *recmat.Report
 	var C *recmat.Matrix
@@ -81,7 +86,11 @@ func main() {
 	flops := 2 * float64(*m) * float64(*k) * float64(*n)
 	fmt.Printf("C(%dx%d) = %.3g*op(A)(%dx%d)·op(B)(%dx%d) + %.3g*C\n",
 		*m, *n, *alpha, *m, *k, *k, *n, *beta)
-	fmt.Printf("algorithm=%v layout=%v workers=%d kernel=%s\n", alg, lo, eng.Workers(), *kernelName)
+	kernelRan := best.Kernel
+	if *kernelName == "auto" {
+		kernelRan = "auto:" + kernelRan
+	}
+	fmt.Printf("algorithm=%v layout=%v workers=%d kernel=%s\n", alg, lo, eng.Workers(), kernelRan)
 	fmt.Printf("tiling: depth=%d tiles=(%d,%d,%d) padded=(%d,%d,%d) blocks=%d\n",
 		best.Depth, best.TileM, best.TileK, best.TileN,
 		best.PaddedM, best.PaddedK, best.PaddedN, best.Blocks)

@@ -65,6 +65,10 @@ func ParseAlg(s string) (Alg, error) {
 // exec carries the per-call execution parameters through the recursion.
 type exec struct {
 	kern leaf.Kernel
+	// skern, when non-nil, is the same kernel in scratch-aware form; the
+	// leaf call then routes its packing buffers through the executing
+	// worker's local slot, so steady-state leaves allocate nothing.
+	skern leaf.ScratchKernel
 	// serialCutoff: at or below this many tiles per side the recursion
 	// stops spawning tasks and runs in-frame. 1 disables all spawning.
 	serialCutoff int
@@ -78,7 +82,12 @@ type exec struct {
 // flops toward the work/span instrumentation.
 func (e *exec) leafMul(c *sched.Ctx, C, A, B Mat) {
 	m, n, k := C.tr, C.tc, A.tc
-	e.kern(m, n, k, A.data, A.leafLD(), B.data, B.leafLD(), C.data, C.leafLD())
+	if e.skern != nil {
+		e.skern(leaf.ScratchAt(c.WorkerSlot()), m, n, k,
+			A.data, A.leafLD(), B.data, B.leafLD(), C.data, C.leafLD())
+	} else {
+		e.kern(m, n, k, A.data, A.leafLD(), B.data, B.leafLD(), C.data, C.leafLD())
+	}
 	c.Account(2 * float64(m) * float64(n) * float64(k))
 }
 

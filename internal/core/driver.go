@@ -23,9 +23,16 @@ type Options struct {
 	Curve layout.Curve
 	// Alg is the multiplication algorithm.
 	Alg Alg
-	// Kernel is the leaf kernel; nil selects leaf.Default (the paper's
-	// four-way-unrolled routine).
+	// Kernel is the leaf kernel as a bare function. Most callers should
+	// prefer KernelName, which also unlocks the kernel's scratch-aware
+	// form; when both are unset the driver autotunes: it benchmarks the
+	// registered kernels on the chosen tile shape at first use and runs
+	// the winner (leaf.Calibrate).
 	Kernel leaf.Kernel
+	// KernelName selects a registered kernel by name (leaf.Names). It
+	// takes precedence over Kernel. The empty string (with Kernel nil)
+	// selects the autotuned default.
+	KernelName string
 	// Tile is the tile-size configuration; the zero value selects
 	// tile.DefaultConfig.
 	Tile tile.Config
@@ -50,11 +57,14 @@ type Options struct {
 
 func (o *Options) withDefaults() Options {
 	v := *o
-	if v.Kernel == nil {
-		v.Kernel = leaf.Default
-	}
 	if v.Tile == (tile.Config{}) {
 		v.Tile = tile.DefaultConfig
+		if v.Kernel == nil && v.KernelName == "" {
+			// Autotuned kernel selection may land on a packed
+			// register-blocked kernel, so bias tile selection toward
+			// sizes its micro-tiles divide evenly (fringe-free leaves).
+			v.Tile.MicroM, v.Tile.MicroN = leaf.MicroM, leaf.MicroN
+		}
 	}
 	if v.SerialCutoff <= 0 {
 		v.SerialCutoff = 4
@@ -80,6 +90,10 @@ type Stats struct {
 	Depth               uint
 	TileM, TileK, TileN int
 	PaddedM, PaddedK, PaddedN int
+	// Kernel names the leaf kernel that actually ran ("custom" for a
+	// caller-supplied bare function); under the autotuned default it is
+	// the calibration winner for the chosen tile shape.
+	Kernel string
 	// Blocks counts the sub-multiplications after wide/lean splitting.
 	Blocks int
 }
@@ -196,6 +210,25 @@ func choose(o Options, m, k, n int) (d uint, tm, tk, tn int) {
 	return ch.D, ch.Tiles[0], ch.Tiles[1], ch.Tiles[2]
 }
 
+// resolveKernel turns the Options kernel selection into the executable
+// forms for tm×tn leaf tiles with inner dimension tk. Precedence:
+// KernelName (registry lookup, including the scratch-aware form), then a
+// caller-supplied bare Kernel, then the autotuned winner for the shape.
+func resolveKernel(o Options, tm, tk, tn int) (leaf.Kernel, leaf.ScratchKernel, string, error) {
+	if o.KernelName != "" {
+		impl, err := leaf.GetImpl(o.KernelName)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return impl.Kern, impl.Scratch, impl.Name, nil
+	}
+	if o.Kernel != nil {
+		return o.Kernel, nil, "custom", nil
+	}
+	impl := leaf.Auto(tm, tn, tk)
+	return impl.Kern, impl.Scratch, impl.Name, nil
+}
+
 // blockGEMM multiplies one squat block: Cv += alpha·op(Av)·op(Bv), with
 // beta already applied to C by the caller.
 func blockGEMM(pool *sched.Pool, o Options, stats *Stats, record bool,
@@ -207,12 +240,17 @@ func blockGEMM(pool *sched.Pool, o Options, stats *Stats, record bool,
 		k = Av.Rows
 	}
 	d, tm, tk, tn := choose(o, m, k, n)
+	kern, skern, kname, err := resolveKernel(o, tm, tk, tn)
+	if err != nil {
+		return err
+	}
 	if record {
 		stats.Depth = d
 		stats.TileM, stats.TileK, stats.TileN = tm, tk, tn
 		stats.PaddedM, stats.PaddedK, stats.PaddedN = tm<<d, tk<<d, tn<<d
+		stats.Kernel = kname
 	}
-	e := &exec{kern: o.Kernel, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
 
 	if o.Curve == layout.ColMajor {
 		return blockCanonical(pool, o, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
@@ -307,9 +345,14 @@ func MulTiled(pool *sched.Pool, opts Options, C, A, B *Tiled) (*Stats, error) {
 		defer p.Close()
 		pool = p
 	}
-	e := &exec{kern: o.Kernel, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+	kern, skern, kname, err := resolveKernel(o, C.TR, A.TC, C.TC)
+	if err != nil {
+		return nil, err
+	}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
 	stats := &Stats{Depth: C.D, TileM: C.TR, TileK: A.TC, TileN: C.TC,
-		PaddedM: C.PaddedRows(), PaddedK: A.PaddedCols(), PaddedN: C.PaddedCols(), Blocks: 1}
+		PaddedM: C.PaddedRows(), PaddedK: A.PaddedCols(), PaddedN: C.PaddedCols(),
+		Kernel: kname, Blocks: 1}
 	t0 := time.Now()
 	cm, am, bm := C.Mat(), A.Mat(), B.Mat()
 	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })

@@ -17,7 +17,10 @@
 // versus t_R — is exactly the memory-system effect the paper studies.
 package leaf
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kernel computes C += A·B, where A is m×k with leading dimension lda,
 // B is k×n with leading dimension ldb, and C is m×n with leading
@@ -89,6 +92,11 @@ func Axpy(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, 
 // this package and stands in for the vendor-supplied native dgemm in the
 // Figure 7 reproduction.
 func Blocked4x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if k <= 0 {
+		// k = 0 is a no-op, and the fringe hand-off below would slice
+		// into the (empty) A at a nonzero row offset.
+		return
+	}
 	j := 0
 	for ; j+4 <= n; j += 4 {
 		b0 := b[j*ldb:]
@@ -152,32 +160,59 @@ func Blocked4x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []flo
 	}
 }
 
-// kernels is the registry of named kernels used by the command-line
-// tools and the Figure 7 experiment.
-var kernels = map[string]Kernel{
-	"naive":     Naive,
-	"unrolled4": Unrolled4,
-	"axpy":      Axpy,
-	"blocked":   Blocked4x4,
+// Impl is one registered kernel implementation. Kern is always usable
+// through the plain Kernel interface; Scratch, when non-nil, is the same
+// kernel taking caller-provided packing buffers so the recursive driver
+// can hand it per-worker scratch (see ScratchKernel).
+type Impl struct {
+	Name    string
+	Kern    Kernel
+	Scratch ScratchKernel
 }
 
-// Names returns the registered kernel names in the order used by the
-// Figure 7 experiment: slowest first.
+// kernels is the registry of named kernels used by the command-line
+// tools, the autotuner, and the Figure 7 experiment.
+var kernels = map[string]Impl{
+	"naive":     {Name: "naive", Kern: Naive},
+	"unrolled4": {Name: "unrolled4", Kern: Unrolled4},
+	"axpy":      {Name: "axpy", Kern: Axpy},
+	"blocked":   {Name: "blocked", Kern: Blocked4x4},
+	"packed4x4": {Name: "packed4x4", Kern: Packed4x4, Scratch: PackedScratch4x4},
+	"packed8x4": {Name: "packed8x4", Kern: Packed8x4, Scratch: PackedScratch8x4},
+}
+
+// Names returns the registered kernel names in deterministic (sorted)
+// order.
 func Names() []string {
-	return []string{"naive", "unrolled4", "axpy", "blocked"}
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Get returns the kernel registered under name.
 func Get(name string) (Kernel, error) {
-	k, ok := kernels[name]
-	if !ok {
-		return nil, fmt.Errorf("leaf: unknown kernel %q", name)
+	impl, err := GetImpl(name)
+	if err != nil {
+		return nil, err
 	}
-	return k, nil
+	return impl.Kern, nil
 }
 
-// Default is the kernel the recursive algorithms use unless overridden:
-// the paper's four-way-unrolled routine.
+// GetImpl returns the full implementation record registered under name.
+func GetImpl(name string) (Impl, error) {
+	impl, ok := kernels[name]
+	if !ok {
+		return Impl{}, fmt.Errorf("leaf: unknown kernel %q", name)
+	}
+	return impl, nil
+}
+
+// Default is the kernel the paper's experiments use unless overridden:
+// the four-way-unrolled routine. The driver's default is the autotuned
+// selection (see Auto); Default remains the fixed-kernel baseline.
 var Default Kernel = Unrolled4
 
 // Best is the register-blocked kernel playing the role of the native

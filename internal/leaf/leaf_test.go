@@ -45,7 +45,8 @@ func TestKernelsAccumulate(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	A := matrix.Random(8, 8, rng)
 	B := matrix.Random(8, 8, rng)
-	for name, k := range kernels {
+	for name, impl := range kernels {
+		k := impl.Kern
 		C := matrix.Random(8, 8, rng)
 		want := C.Clone()
 		matrix.RefMulAdd(want, A, B)
@@ -63,7 +64,8 @@ func TestKernelsOnStridedViews(t *testing.T) {
 	big := matrix.Random(64, 64, rng)
 	A := big.View(3, 5, 12, 9)
 	B := big.View(20, 17, 9, 10)
-	for name, k := range kernels {
+	for name, impl := range kernels {
+		k := impl.Kern
 		C := matrix.Random(12, 10, rng)
 		want := C.Clone()
 		matrix.RefMulAdd(want, A, B)
@@ -75,7 +77,8 @@ func TestKernelsOnStridedViews(t *testing.T) {
 }
 
 func TestKernelsZeroDims(t *testing.T) {
-	for name, k := range kernels {
+	for name, impl := range kernels {
+		k := impl.Kern
 		// m, n, or k of zero must be a no-op and must not panic.
 		c := []float64{42}
 		k(0, 0, 0, nil, 1, nil, 1, c, 1)

@@ -1,0 +1,141 @@
+package leaf
+
+import "sync"
+
+// The packed kernels fix NR = 4 B columns per micro-tile; MR is 4 or 8 A
+// rows depending on the variant. Tile sizes that are multiples of these
+// avoid the scalar fringe path entirely (tile.Config can be told to
+// prefer such sizes; see Config.MicroM/MicroN).
+const (
+	// MicroM is the largest A-row count of any packed micro-kernel.
+	MicroM = 8
+	// MicroN is the B-column count of the packed micro-kernels.
+	MicroN = 4
+)
+
+// ScratchKernel is a kernel that uses caller-provided scratch storage for
+// its packing buffers instead of managing its own. The recursive driver
+// calls this form with a per-worker Scratch so that steady-state leaf
+// multiplication performs no allocation at all.
+type ScratchKernel func(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int)
+
+// packedMul is the shared body of the packed kernels: C += A·B through
+// MR×4 register-blocked micro-tiles.
+//
+// Fast path: when both operands are contiguous column-major tiles
+// (lda == m and ldb == k) — precisely what the recursive layouts produce
+// at every leaf — packing is skipped and the micro-kernels read the tiles
+// in place. Otherwise (canonical layouts, where a leaf is a strided view
+// into the full matrix) both operands are packed once into s, after which
+// every k step of the inner loop is contiguous.
+func packedMul(s *Scratch, mr int, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	const nr = MicroN
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	if lda == m && ldb == k {
+		directMul(mr, m, n, k, a, b, c, ldc)
+		return
+	}
+	mp := (m + mr - 1) / mr * mr
+	np := (n + nr - 1) / nr * nr
+	s.pa = grow(s.pa, mp*k)
+	packA(mr, m, k, a, lda, s.pa)
+	s.pb = grow(s.pb, np*k)
+	packB(nr, k, n, b, ldb, s.pb)
+	for j0 := 0; j0 < n; j0 += nr {
+		pbp := s.pb[(j0/nr)*nr*k:]
+		ncur := min(nr, n-j0)
+		for i0 := 0; i0 < m; i0 += mr {
+			pap := s.pa[(i0/mr)*mr*k:]
+			mcur := min(mr, m-i0)
+			cc := c[j0*ldc+i0:]
+			switch {
+			case mcur == mr && ncur == nr && mr == 8:
+				micro8x4pp(k, pap, pbp, cc, ldc)
+			case mcur == mr && ncur == nr:
+				micro4x4pp(k, pap, pbp, cc, ldc)
+			default:
+				microEdge(mcur, ncur, k, pap, mr, pbp, nr, 1, cc, ldc)
+			}
+		}
+	}
+}
+
+// directMul runs the micro-kernels in place on contiguous tiles
+// (lda == m, ldb == k) — no packing, no scratch.
+func directMul(mr, m, n, k int, a, b, c []float64, ldc int) {
+	const nr = MicroN
+	j0 := 0
+	for ; j0+nr <= n; j0 += nr {
+		b0 := b[j0*k : j0*k+k]
+		b1 := b[(j0+1)*k : (j0+1)*k+k]
+		b2 := b[(j0+2)*k : (j0+2)*k+k]
+		b3 := b[(j0+3)*k : (j0+3)*k+k]
+		i0 := 0
+		if mr == 8 {
+			for ; i0+8 <= m; i0 += 8 {
+				micro8x4dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
+			}
+		} else {
+			for ; i0+4 <= m; i0 += 4 {
+				micro4x4dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
+			}
+		}
+		if i0+4 <= m { // 8×4 fringe that still fits a 4×4 micro-tile
+			micro4x4dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
+			i0 += 4
+		}
+		if i0 < m {
+			microEdge(m-i0, nr, k, a[i0:], m, b[j0*k:], 1, k, c[j0*ldc+i0:], ldc)
+		}
+	}
+	if j0 < n {
+		microEdge(m, n-j0, k, a, m, b[j0*k:], 1, k, c[j0*ldc:], ldc)
+	}
+}
+
+// scratchPool backs the plain-Kernel adapters below. sync.Pool keeps one
+// Scratch per P in steady state, so repeated calls through the plain
+// Kernel interface are also allocation-free after warm-up; the recursive
+// driver bypasses this pool entirely via the ScratchKernel form.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// PackedScratch4x4 is the 4×4 packed kernel in ScratchKernel form.
+func PackedScratch4x4(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	packedMul(s, 4, m, n, k, a, lda, b, ldb, c, ldc)
+}
+
+// PackedScratch8x4 is the 8×4 packed kernel in ScratchKernel form.
+func PackedScratch8x4(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	packedMul(s, 8, m, n, k, a, lda, b, ldb, c, ldc)
+}
+
+// Packed4x4 is the packed-panel kernel with a 4×4 register block,
+// self-managing its scratch through a pool.
+func Packed4x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	s := scratchPool.Get().(*Scratch)
+	packedMul(s, 4, m, n, k, a, lda, b, ldb, c, ldc)
+	scratchPool.Put(s)
+}
+
+// Packed8x4 is the packed-panel kernel with an 8×4 register block,
+// self-managing its scratch through a pool.
+func Packed8x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	s := scratchPool.Get().(*Scratch)
+	packedMul(s, 8, m, n, k, a, lda, b, ldb, c, ldc)
+	scratchPool.Put(s)
+}
+
+// ScratchAt returns the Scratch stored in slot, installing a fresh one on
+// first use. slot is typically the executing worker's local slot
+// (sched.Ctx.WorkerSlot), making the packed kernels allocation-free in
+// steady state without any locking.
+func ScratchAt(slot *any) *Scratch {
+	if s, ok := (*slot).(*Scratch); ok {
+		return s
+	}
+	s := new(Scratch)
+	*slot = s
+	return s
+}

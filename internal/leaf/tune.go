@@ -1,0 +1,118 @@
+package leaf
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// The runtime autotuner. The paper ran a single fixed leaf kernel (the
+// four-way-unrolled C routine); which kernel is fastest here depends on
+// the host CPU and the leaf shape, so the driver instead benchmarks the
+// candidate kernels once per leaf shape at first use and remembers the
+// winner. The measurement multiplies contiguous tiles — the case the
+// recursive layouts produce — so the selection favors the configuration
+// the layouts are designed to create.
+
+// candidates are the kernels the autotuner measures, cheapest-to-probe
+// subset of the registry: Naive is excluded (never competitive, and
+// probing it at large tiles is pure waste).
+var candidates = []string{"unrolled4", "axpy", "blocked", "packed4x4", "packed8x4"}
+
+// calReps is the number of timed repetitions per candidate; the minimum
+// is kept, which rejects scheduler noise.
+const calReps = 3
+
+// calCap bounds the probed dimensions so that calibration stays in the
+// millisecond range even when a caller forces degenerate whole-matrix
+// tiles; relative kernel speed is stable above the cap.
+const calCap = 128
+
+type tuneKey struct{ m, n, k int }
+
+var (
+	tuneMu    sync.Mutex
+	tuneCache = map[tuneKey]string{}
+)
+
+// Calibrate benchmarks the candidate kernels on an m×n×k leaf
+// multiplication over contiguous operands and returns the name of the
+// fastest. Results are memoized per shape; the first call for a shape
+// costs a few milliseconds, subsequent calls are a map lookup.
+func Calibrate(m, n, k int) string {
+	if m > calCap {
+		m = calCap
+	}
+	if n > calCap {
+		n = calCap
+	}
+	if k > calCap {
+		k = calCap
+	}
+	if m < 1 {
+		m = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	key := tuneKey{m, n, k}
+	tuneMu.Lock()
+	defer tuneMu.Unlock()
+	if name, ok := tuneCache[key]; ok {
+		return name
+	}
+	name := measure(m, n, k)
+	tuneCache[key] = name
+	return name
+}
+
+// Auto returns the autotuned implementation for an m×n×k leaf shape.
+func Auto(m, n, k int) Impl {
+	impl, _ := GetImpl(Calibrate(m, n, k))
+	return impl
+}
+
+// measure times each candidate and returns the winner's name.
+func measure(m, n, k int) string {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	bestName := candidates[0]
+	bestTime := time.Duration(1<<63 - 1)
+	for _, name := range candidates {
+		impl, err := GetImpl(name)
+		if err != nil {
+			continue
+		}
+		impl.Kern(m, n, k, a, m, b, k, c, m) // warm up (and fault in scratch)
+		elapsed := time.Duration(1<<63 - 1)
+		for r := 0; r < calReps; r++ {
+			t0 := time.Now()
+			impl.Kern(m, n, k, a, m, b, k, c, m)
+			if d := time.Since(t0); d < elapsed {
+				elapsed = d
+			}
+		}
+		if elapsed < bestTime {
+			bestTime, bestName = elapsed, name
+		}
+	}
+	return bestName
+}
+
+// ResetCalibration clears the memoized autotuner selections (tests).
+func ResetCalibration() {
+	tuneMu.Lock()
+	tuneCache = map[tuneKey]string{}
+	tuneMu.Unlock()
+}

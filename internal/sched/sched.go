@@ -70,11 +70,25 @@ func (p *Pool) ResetStats() {
 }
 
 // task is one spawned unit of work. ctx is bound to the executing worker
-// at run time.
+// at run time. Tasks are recycled through taskPool: a fine-grained run
+// spawns one task per quadrant product, and without recycling the task
+// headers alone dominate the scheduler's allocation profile (see
+// BenchmarkParallelSpawn).
 type task struct {
 	fn   func(*Ctx)
 	join *join
 	ctx  *Ctx
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// newTask draws a recycled task from the pool. The task is returned to
+// the pool by the worker that runs it, so callers must not retain it
+// past the hand-off to a deque or the inject channel.
+func newTask(fn func(*Ctx), j *join, ctx *Ctx) *task {
+	t := taskPool.Get().(*task)
+	t.fn, t.join, t.ctx = fn, j, ctx
+	return t
 }
 
 // join is the synchronization point of one Parallel call.
@@ -96,6 +110,9 @@ type worker struct {
 	mu   sync.Mutex
 	dq   []*task // owner pushes/pops at the tail; thieves steal the head
 	seed uint64
+	// slot is worker-local storage handed out through Ctx.WorkerSlot;
+	// only the owning worker touches it, so no locking.
+	slot any
 }
 
 // Ctx is the execution context of one task frame. It carries the
@@ -110,6 +127,8 @@ type Ctx struct {
 	Work float64
 	// Span is the critical-path length of this frame in the same units.
 	Span float64
+	// slot backs WorkerSlot for a Ctx that is not bound to a worker.
+	slot any
 }
 
 // NewPool creates a pool with the given number of workers. Workers <= 0
@@ -154,7 +173,7 @@ func (p *Pool) Run(fn func(*Ctx)) (work, span float64) {
 	j := &join{}
 	j.pending.Store(1)
 	ctx := &Ctx{pool: p}
-	t := &task{fn: fn, join: j, ctx: ctx}
+	t := newTask(fn, j, ctx)
 	finished := make(chan struct{})
 	go func() {
 		// Waiter goroutine: cheap poll is fine since Run is coarse.
@@ -240,18 +259,24 @@ func (w *worker) findTask() *task {
 }
 
 // run executes one task, binding its context to this worker, recording
-// panics into the task's join, and signalling completion.
+// panics into the task's join, and signalling completion. The task
+// header is recycled before the join is released: once pending drops the
+// parent may return, but the task pointer itself is no longer referenced
+// by anyone (it has already left every deque).
 func (w *worker) run(t *task) {
 	t.ctx.w = w
+	j := t.join
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.join.recordPanic(r)
+				j.recordPanic(r)
 			}
 		}()
 		t.fn(t.ctx)
 	}()
-	t.join.pending.Add(-1)
+	t.fn, t.join, t.ctx = nil, nil, nil
+	taskPool.Put(t)
+	j.pending.Add(-1)
 }
 
 // loop is the worker main loop: execute available work, back off when
@@ -286,6 +311,22 @@ func (w *worker) loop() {
 	}
 }
 
+// WorkerSlot returns a pointer to the executing worker's local storage
+// slot. The slot belongs to the worker, not the frame: successive tasks
+// on the same worker see the same slot, and no other worker touches it,
+// so callers can cache per-worker scratch state (e.g. leaf packing
+// buffers) in it without locking. The pointer is only valid while the
+// current task is running — don't retain it across a Parallel call,
+// which may resume on a different set of stack frames. Outside a worker
+// (a Ctx not yet bound to one), a frame-local slot is returned so the
+// call is always safe.
+func (c *Ctx) WorkerSlot() *any {
+	if c.w == nil {
+		return &c.slot
+	}
+	return &c.w.slot
+}
+
 // Account adds w units of serial work to the frame: both the work and
 // the span grow, since work inside a frame is sequential.
 func (c *Ctx) Account(w float64) {
@@ -309,11 +350,11 @@ func (c *Ctx) Parallel(fns ...func(*Ctx)) {
 	children := make([]*Ctx, len(fns))
 	for i := len(fns) - 1; i >= 1; i-- {
 		children[i] = &Ctx{pool: c.pool}
-		c.w.push(&task{fn: fns[i], join: j, ctx: children[i]})
+		c.w.push(newTask(fns[i], j, children[i]))
 	}
 	// Run the first child inline through the same panic-capturing path.
 	children[0] = &Ctx{pool: c.pool}
-	inline := &task{fn: fns[0], join: j, ctx: children[0]}
+	inline := newTask(fns[0], j, children[0])
 	c.pool.inline.Add(1)
 	c.w.run(inline)
 

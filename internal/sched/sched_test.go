@@ -376,3 +376,51 @@ func TestStealsOccurUnderLoad(t *testing.T) {
 		t.Error("no steals under 64 coarse tasks on 2 workers")
 	}
 }
+
+func TestWorkerSlotPersistsAcrossTasks(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	// With one worker every task runs on the same worker, so a value
+	// stored in the slot by one task must be visible to the next.
+	p.Run(func(c *Ctx) {
+		*c.WorkerSlot() = 42
+	})
+	p.Run(func(c *Ctx) {
+		if v, ok := (*c.WorkerSlot()).(int); !ok || v != 42 {
+			t.Errorf("worker slot = %v, want 42", *c.WorkerSlot())
+		}
+		c.Parallel(func(c *Ctx) {
+			if v, ok := (*c.WorkerSlot()).(int); !ok || v != 42 {
+				t.Errorf("worker slot in child = %v, want 42", *c.WorkerSlot())
+			}
+		})
+	})
+}
+
+func TestWorkerSlotUnboundCtx(t *testing.T) {
+	var c Ctx // never bound to a worker
+	*c.WorkerSlot() = "x"
+	if v, ok := (*c.WorkerSlot()).(string); !ok || v != "x" {
+		t.Errorf("unbound slot = %v, want %q", *c.WorkerSlot(), "x")
+	}
+}
+
+// BenchmarkParallelSpawn guards the task-recycling pool: its allocs/op
+// is the scheduler's per-spawn allocation budget (join + child contexts
+// + closure bookkeeping; the task headers themselves are pooled).
+func BenchmarkParallelSpawn(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	p.Run(func(c *Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.Parallel(
+				func(c *Ctx) {},
+				func(c *Ctx) {},
+				func(c *Ctx) {},
+				func(c *Ctx) {},
+			)
+		}
+	})
+}

@@ -33,6 +33,14 @@ type Config struct {
 	// PadSlack is the tolerated relative increase in padded volume when
 	// preferring a sweeter tile size (e.g. 0.05 = 5%).
 	PadSlack float64
+	// MicroM and MicroN, when positive, express a register-blocked leaf
+	// kernel's micro-tile shape: among the near-tie candidates (within
+	// PadSlack of the minimum padded volume), choices whose first-dim
+	// tile is a multiple of MicroM and last-dim tile a multiple of
+	// MicroN are preferred, before the TSweet distance is compared. A
+	// micro-aligned tile never enters the kernel's scalar fringe path.
+	// Zero values (the default) leave selection exactly as before.
+	MicroM, MicroN int
 }
 
 // DefaultConfig mirrors the paper's effective choices: tiles between 16
@@ -161,19 +169,41 @@ func (c Config) pick(dims []int, strict bool) Choice {
 			minVol = cd.vol
 		}
 	}
+	// The first Pick dimension is the kernel's m (rows of C), the last
+	// its n (columns of C); a candidate is micro-aligned when both are
+	// multiples of the configured micro-tile shape.
+	aligned := func(tiles []int) bool {
+		if c.MicroM > 0 && tiles[0]%c.MicroM != 0 {
+			return false
+		}
+		if c.MicroN > 0 && tiles[len(tiles)-1]%c.MicroN != 0 {
+			return false
+		}
+		return true
+	}
 	bestIdx := -1
 	bestDist := 1 << 30
+	bestAligned := false
 	for i, cd := range cands {
 		if cd.vol > minVol*(1+c.PadSlack) {
 			continue
 		}
+		al := aligned(cd.tiles)
 		dist := cd.maxT - c.TSweet
 		if dist < 0 {
 			dist = -dist
 		}
-		if dist < bestDist {
-			bestDist = dist
-			bestIdx = i
+		var better bool
+		switch {
+		case bestIdx < 0:
+			better = true
+		case al != bestAligned:
+			better = al
+		default:
+			better = dist < bestDist
+		}
+		if better {
+			bestIdx, bestDist, bestAligned = i, dist, al
 		}
 	}
 	ch := cands[bestIdx]

@@ -216,3 +216,30 @@ func TestAlpha(t *testing.T) {
 		t.Fatalf("default α = %g, want 4", DefaultConfig.Alpha())
 	}
 }
+
+func TestPickMicroAlignmentTieBreak(t *testing.T) {
+	// 448 = 56·2³ = 28·2⁴: both tilings pad to exactly 448, so they tie
+	// on volume. Plain TSweet distance prefers 28 (|28−32| < |56−32|),
+	// but 28 is not a multiple of the 8×4 micro-tile while 56 is.
+	plain := DefaultConfig
+	ch := plain.Pick(448, 448, 448)
+	if ch.Tiles[0] != 28 {
+		t.Fatalf("baseline pick for 448 = %d, want 28 (test premise)", ch.Tiles[0])
+	}
+	micro := DefaultConfig
+	micro.MicroM, micro.MicroN = 8, 4
+	ch = micro.Pick(448, 448, 448)
+	if ch.Tiles[0] != 56 || ch.Tiles[2] != 56 {
+		t.Errorf("micro-aware pick for 448 = %v, want tiles of 56", ch.Tiles)
+	}
+	if !ch.Strict {
+		t.Error("micro-aware pick lost strictness")
+	}
+	// When no aligned candidate exists the tie-break must fall back to
+	// TSweet distance unchanged: 176 = 44·2² = 22·2³, neither a multiple
+	// of 8.
+	ch = micro.Pick(176, 176, 176)
+	if ch.Tiles[0] != 22 {
+		t.Errorf("pick for 176 with no aligned candidate = %v, want 22", ch.Tiles)
+	}
+}

@@ -124,13 +124,21 @@ type TileConfig = tile.Config
 // Kernel is a leaf multiplication kernel; see Kernels for the built-ins.
 type Kernel = leaf.Kernel
 
-// Kernels returns the names of the built-in leaf kernels, slowest first:
-// "naive", "unrolled4" (the paper's kernel, the default), "axpy",
-// "blocked" (the register-blocked stand-in for native BLAS).
+// Kernels returns the names of the built-in leaf kernels in sorted
+// order: "axpy", "blocked" (register-blocked 4×4), "naive", "packed4x4"
+// and "packed8x4" (packed-panel register-blocked kernels with a
+// pack-free fast path on contiguous recursive-layout tiles), and
+// "unrolled4" (the paper's kernel). See DESIGN.md for the hierarchy.
 func Kernels() []string { return leaf.Names() }
 
 // KernelByName resolves a built-in kernel.
 func KernelByName(name string) (Kernel, error) { return leaf.Get(name) }
+
+// CalibrateKernel benchmarks the built-in kernels on an m×n×k leaf
+// multiplication over contiguous operands and returns the name of the
+// fastest — the same measurement the autotuned default performs on first
+// use for a tile shape. Results are memoized per shape.
+func CalibrateKernel(m, n, k int) string { return leaf.Calibrate(m, n, k) }
 
 // Options configures a multiplication. The zero value multiplies with
 // the standard algorithm on the column-major layout using default tiles.
@@ -150,8 +158,15 @@ type Options struct {
 	// ForceTile forces an exact square tile size, bypassing selection
 	// (ForceTile=1 reproduces element-level quadtree layouts).
 	ForceTile int
-	// Kernel overrides the leaf kernel (nil = the paper's four-way
-	// unrolled routine).
+	// KernelName selects a built-in leaf kernel by name (see Kernels);
+	// it takes precedence over Kernel. When both are unset the engine
+	// autotunes: it benchmarks the built-in kernels on the chosen tile
+	// shape at first use and runs the winner. Note this departs from the
+	// paper, whose experiments fix the four-way-unrolled kernel; set
+	// KernelName to "unrolled4" to reproduce the paper's setup exactly
+	// (cmd/experiments does).
+	KernelName string
+	// Kernel overrides the leaf kernel with an arbitrary function.
 	Kernel Kernel
 	// SerialCutoff is the quadrant size in tiles at or below which the
 	// recursion stops spawning parallel tasks (0 = default 4).
@@ -172,6 +187,7 @@ func (o *Options) coreOptions() core.Options {
 		Curve:        o.Layout,
 		Alg:          o.Algorithm,
 		Kernel:       o.Kernel,
+		KernelName:   o.KernelName,
 		Tile:         o.Tile,
 		ForceTile:    o.ForceTile,
 		SerialCutoff: o.SerialCutoff,
