@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz bench-json
+.PHONY: check build vet test race stress bench fuzz bench-json
 
-check: build vet race
+check: build vet race stress
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection stress: the TestStress* suites run under the race
+# detector with probabilistic panic/alloc/delay faults enabled at every
+# instrumented site (see internal/faultinject). RECMAT_FAULTS overrides
+# the default rates.
+RECMAT_FAULTS ?= panic=0.002,alloc=0.005,delay=0.005/50us,seed=7
+stress:
+	RECMAT_FAULTS='$(RECMAT_FAULTS)' $(GO) test -race -count=3 -run 'Stress' . ./internal/core ./internal/sched
 
 # The kernel acceptance benchmark: packed kernels vs the paper's
 # unrolled4 at the default tile sizes.

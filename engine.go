@@ -1,6 +1,8 @@
 package recmat
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/sched"
 )
@@ -35,7 +37,9 @@ func (e *Engine) SchedulerStats() SchedStats { return e.pool.Stats() }
 // ResetSchedulerStats zeroes the scheduling counters.
 func (e *Engine) ResetSchedulerStats() { e.pool.ResetStats() }
 
-// Close releases the engine's workers.
+// Close releases the engine's workers. It is idempotent and safe to
+// call concurrently; calls on a closed engine return ErrPoolClosed
+// rather than panicking.
 func (e *Engine) Close() { e.pool.Close() }
 
 // Mul computes C = A·B on the engine's workers.
@@ -48,9 +52,28 @@ func (e *Engine) MulAdd(C, A, B *Matrix, opts *Options) (*Report, error) {
 	return e.DGEMM(false, false, 1, A, B, 1, C, opts)
 }
 
+// MulContext computes C = A·B with cooperative cancellation; see
+// DGEMMContext for the cancellation and failure semantics.
+func (e *Engine) MulContext(ctx context.Context, C, A, B *Matrix, opts *Options) (*Report, error) {
+	return e.DGEMMContext(ctx, false, false, 1, A, B, 0, C, opts)
+}
+
 // DGEMM computes C ← α·op(A)·op(B) + β·C on the engine's workers.
 func (e *Engine) DGEMM(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
-	return core.GEMM(e.pool, opts.coreOptions(), transA, transB, alpha, A, B, beta, C)
+	return e.DGEMMContext(context.Background(), transA, transB, alpha, A, B, beta, C, opts)
+}
+
+// DGEMMContext is DGEMM with cooperative cancellation. Cancellation is
+// checked between scheduler tasks, at every spawn point, and at each
+// level of the recursion, so a cancelled context aborts the run within
+// roughly one leaf-kernel latency; the returned error wraps the
+// context's cause. On cancellation or failure C holds the β-scaled
+// input plus any fully completed output blocks — never a partially
+// written block product — and the error reports how far the computation
+// got. Worker panics never escape: they surface as a *TaskError
+// aggregating every sibling panic with stacks.
+func (e *Engine) DGEMMContext(ctx context.Context, transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
+	return core.GEMMCtx(ctx, e.pool, opts.coreOptions(), transA, transB, alpha, A, B, beta, C)
 }
 
 // WorkSpan returns the analytic work and span, in flops, of one

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// This file implements admission control and graceful degradation: the
+// driver estimates the memory footprint of a block multiplication
+// before allocating anything and, when a budget or numerical-error
+// bound is exceeded, walks a degradation ladder toward cheaper, safer
+// configurations instead of failing — recording every decision in
+// Stats.Degraded. Only when even the smallest rung would bust the
+// budget does the call fail, with ErrMemBudget, before any allocation.
+
+// rung is one step of the degradation ladder: an algorithm plus a
+// serial flag (serial execution caps the live temporaries at one
+// depth-first path and drops the per-worker kernel scratch to a single
+// worker's worth).
+type rung struct {
+	alg    Alg
+	serial bool
+}
+
+// ladderFor returns the degradation ladder for a requested algorithm,
+// most-capable rung first. The fast algorithms degrade through the
+// paper's space-conserving sequential Strassen variant (three reused
+// scratch quadrants per level) before giving up their sub-cubic flop
+// count; the final rung is always the standard accumulate recursion,
+// which needs no temporaries at all, run serially.
+func ladderFor(a Alg) []rung {
+	switch a {
+	case Strassen, Winograd:
+		return []rung{{a, false}, {StrassenLowMem, true}, {Standard, false}, {Standard, true}}
+	case Standard8:
+		return []rung{{Standard8, false}, {Standard, false}, {Standard, true}}
+	case StrassenLowMem:
+		// Already serial and space-conserving; the only cheaper rung is
+		// the temporary-free standard recursion.
+		return []rung{{StrassenLowMem, true}, {Standard, true}}
+	default:
+		return []rung{{Standard, false}, {Standard, true}}
+	}
+}
+
+// estimateBytes predicts the footprint of one block multiplication:
+// the three packed operands, the algorithm's live temporaries, and the
+// per-worker leaf packing scratch. Temporary estimates integrate the
+// geometric per-level series of a depth-first execution (Standard8
+// allocates 8 quarter-C products per level, Strassen 10 quarter
+// pre-addition operands and 7 quarter products, Winograd 8 and 8,
+// the low-memory variant 3 reused quadrants); parallel execution can
+// have several subtrees' temporaries live at once, modeled by a small
+// worker-dependent inflation factor. The result is an estimate, not a
+// bound — it exists so admission control can refuse or degrade before
+// allocating, not to account bytes exactly.
+func estimateBytes(alg Alg, workers, mp, kp, np, tm, tk, tn int, serial bool) int64 {
+	ab := int64(mp) * int64(kp)
+	bb := int64(kp) * int64(np)
+	cb := int64(mp) * int64(np)
+	packed := ab + bb + cb
+	var temps int64
+	switch alg {
+	case Standard:
+		temps = 0
+	case Standard8:
+		temps = 8 * cb / 3
+	case Strassen:
+		temps = (5*ab + 5*bb + 7*cb) / 3
+	case Winograd:
+		temps = (4*ab + 4*bb + 8*cb) / 3
+	case StrassenLowMem:
+		temps = (ab + bb + cb) / 3
+	}
+	if !serial && temps > 0 {
+		f := int64(workers)
+		if f > 4 {
+			f = 4
+		}
+		temps *= f
+	}
+	w := int64(workers)
+	if serial {
+		w = 1
+	}
+	scratch := w * int64(tm*tk+tk*tn)
+	return 8 * (packed + temps + scratch)
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// admit applies the memory budget: it returns the first rung of the
+// requested algorithm's ladder whose estimated footprint fits
+// o.MemBudget (the requested configuration when no budget is set),
+// along with the estimate and a human-readable note per degradation.
+// When no rung fits, it returns ErrMemBudget — admission control
+// rejects the call before any allocation.
+func admit(o Options, workers, mp, kp, np, tm, tk, tn int) (Alg, bool, int64, []string, error) {
+	ladder := ladderFor(o.Alg)
+	requested := ladder[0]
+	est := estimateBytes(requested.alg, workers, mp, kp, np, tm, tk, tn, requested.serial)
+	if o.MemBudget <= 0 || est <= o.MemBudget {
+		return requested.alg, requested.serial, est, nil, nil
+	}
+	var notes []string
+	prev, prevEst := requested, est
+	for _, r := range ladder[1:] {
+		e := estimateBytes(r.alg, workers, mp, kp, np, tm, tk, tn, r.serial)
+		notes = append(notes, fmt.Sprintf("mem-budget: %v%s estimated %s > budget %s; degraded to %v%s (estimated %s)",
+			prev.alg, serialTag(prev.serial), fmtBytes(prevEst), fmtBytes(o.MemBudget),
+			r.alg, serialTag(r.serial), fmtBytes(e)))
+		if e <= o.MemBudget {
+			return r.alg, r.serial, e, notes, nil
+		}
+		prev, prevEst = r, e
+	}
+	return 0, false, est, nil, fmt.Errorf("%w: smallest ladder rung (%v%s) estimated %s for %dx%dx%d still exceeds budget %s",
+		ErrMemBudget, prev.alg, serialTag(prev.serial), fmtBytes(prevEst), mp, kp, np, fmtBytes(o.MemBudget))
+}
+
+func serialTag(serial bool) string {
+	if serial {
+		return " (serial)"
+	}
+	return ""
+}
+
+// isFastAlg reports whether alg trades numerical stability for flops
+// (the Strassen-like algorithms Benson & Ballard analyze).
+func isFastAlg(a Alg) bool {
+	return a == Strassen || a == Winograd || a == StrassenLowMem
+}
+
+// probeSize is the edge of the probe block used by the residual-growth
+// check: big enough for three levels of fast recursion to manifest
+// their error growth, small enough (2·32³ ≈ 65K flops per run) to be
+// negligible next to the real multiplication.
+const probeSize = 32
+
+// probeResidualGrowth runs the chosen fast algorithm and the naive
+// reference over a small probe block sampled from the top-left corner
+// of op(A) and op(B), and returns the max-norm residual in units of the
+// standard algorithm's error floor (machine epsilon × inner dimension ×
+// |A|∞·|B|∞ of the probe). A value near 1 means the fast algorithm is
+// behaving like the standard one on this data; Strassen-like error
+// growth shows up as values of 10–100+. Returns 0 (never degrade) when
+// the probe is degenerate (zero operands).
+func probeResidualGrowth(e *exec, alg Alg, transA, transB bool, Av, Bv *matrix.Dense) float64 {
+	pm, pk := opShape(Av, transA)
+	pk2, pn := opShape(Bv, transB)
+	if pk2 < pk {
+		pk = pk2
+	}
+	pm, pk, pn = minInt(pm, probeSize), minInt(pk, probeSize), minInt(pn, probeSize)
+	pa, amax := sampleProbe(Av, transA, pm, pk)
+	pb, bmax := sampleProbe(Bv, transB, pk, pn)
+	scale := 2.220446049250313e-16 * float64(pk) * amax * bmax
+	if scale == 0 {
+		return 0
+	}
+	fast := matrix.New(probeSize, probeSize)
+	ref := matrix.New(probeSize, probeSize)
+	mk := func(x *matrix.Dense) Mat {
+		return Mat{data: x.Data, tiles: 4, tr: probeSize / 4, tc: probeSize / 4,
+			ld: x.Stride, curve: layout.ColMajor}
+	}
+	// Serial execution on an unbound Ctx: the recursion never spawns
+	// (serialCutoff ≥ tiles) so no pool is needed, and the probe runs
+	// with the same leaf kernel the real multiplication will use.
+	pe := &exec{kern: e.kern, skern: e.skern, serialCutoff: 1 << 30, fastCutoff: 1}
+	pe.mul(&sched.Ctx{}, alg, mk(fast), mk(pa), mk(pb))
+	matrix.RefGEMM(false, false, 1, pa, pb, 0, ref)
+	return matrix.MaxAbsDiff(fast, ref) / scale
+}
+
+func opShape(x *matrix.Dense, trans bool) (rows, cols int) {
+	if trans {
+		return x.Cols, x.Rows
+	}
+	return x.Rows, x.Cols
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sampleProbe copies the top-left rows×cols corner of op(src) into a
+// zero-padded probeSize×probeSize matrix and returns it with the
+// sample's max absolute value.
+func sampleProbe(src *matrix.Dense, trans bool, rows, cols int) (*matrix.Dense, float64) {
+	dst := matrix.New(probeSize, probeSize)
+	var amax float64
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			var v float64
+			if trans {
+				v = src.Data[i*src.Stride+j]
+			} else {
+				v = src.Data[j*src.Stride+i]
+			}
+			dst.Data[j*dst.Stride+i] = v
+			if v < 0 {
+				v = -v
+			}
+			if v > amax {
+				amax = v
+			}
+		}
+	}
+	return dst, amax
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/layout"
 	"repro/internal/leaf"
 	"repro/internal/sched"
@@ -79,8 +80,11 @@ type exec struct {
 }
 
 // leafMul runs the leaf kernel on a single tile trio and accounts its
-// flops toward the work/span instrumentation.
+// flops toward the work/span instrumentation. The fault-injection point
+// costs one atomic load when injection is off — negligible against the
+// 2mnk flops of the kernel.
 func (e *exec) leafMul(c *sched.Ctx, C, A, B Mat) {
+	faultinject.Point("core.leaf")
 	m, n, k := C.tr, C.tc, A.tc
 	if e.skern != nil {
 		e.skern(leaf.ScratchAt(c.WorkerSlot()), m, n, k,
@@ -119,11 +123,29 @@ func (e *exec) par(tiles int) bool {
 	return tiles > e.serialCutoff
 }
 
+// The recursive algorithms poll c.Cancelled() at every level (one
+// atomic load), so a cancelled run abandons its subtree within roughly
+// one leaf multiplication — the per-level check is what bounds the
+// cancellation latency inside the serial-cutoff region, where the
+// scheduler's between-task and spawn-point checks never fire. The
+// multi-pass addition stages poll between passes (ewCancelled) for the
+// same reason: near the root a single quadrant pass touches O(n²)
+// elements, which would otherwise dominate the abort latency.
+
+// ewCancelled is the between-passes poll of the addition stages. The
+// partially accumulated state it can leave behind is safe: on a
+// cancelled run the driver never unpacks the working copy into the
+// caller's C (GEMMCtx), or documents C as corrupt (MulTiled).
+func ewCancelled(c *sched.Ctx) bool { return c.Cancelled() }
+
 // std is the accumulate form of the standard algorithm: two rounds of
 // four independent quadrant products. Within a round the four products
 // write disjoint quadrants of C, so they run in parallel; the rounds are
 // separated by a sync because both rounds write every C quadrant.
 func (e *exec) std(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
+		return
+	}
 	if C.tiles == 1 {
 		e.leafMul(c, C, A, B)
 		return
@@ -161,6 +183,9 @@ func (e *exec) std(c *sched.Ctx, C, A, B Mat) {
 // path recurrence is T∞(s) = T∞(s/2) + O(adds), which is what gives the
 // standard algorithm its O(lg² n) critical path in the paper.
 func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
+		return
+	}
 	if C.tiles == 1 {
 		e.leafMul(c, C, A, B)
 		return
@@ -170,6 +195,11 @@ func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
 	var p [8]Mat
 	for i := range p {
+		// Near the root each temp is a quarter of C; poll so a cancel
+		// arriving mid-allocation doesn't wait out the whole series.
+		if c.Cancelled() {
+			return
+		}
 		p[i] = newTemp(c11)
 	}
 	mults := []func(*sched.Ctx){
@@ -185,24 +215,36 @@ func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
 	post := []func(*sched.Ctx){
 		func(c *sched.Ctx) {
 			matEW2(c11, p[0], vAcc)
+			if ewCancelled(c) {
+				return
+			}
 			matEW2(c11, p[1], vAcc)
 			accountAdd(c, c11)
 			accountAdd(c, c11)
 		},
 		func(c *sched.Ctx) {
 			matEW2(c21, p[2], vAcc)
+			if ewCancelled(c) {
+				return
+			}
 			matEW2(c21, p[3], vAcc)
 			accountAdd(c, c21)
 			accountAdd(c, c21)
 		},
 		func(c *sched.Ctx) {
 			matEW2(c12, p[4], vAcc)
+			if ewCancelled(c) {
+				return
+			}
 			matEW2(c12, p[5], vAcc)
 			accountAdd(c, c12)
 			accountAdd(c, c12)
 		},
 		func(c *sched.Ctx) {
 			matEW2(c22, p[6], vAcc)
+			if ewCancelled(c) {
+				return
+			}
 			matEW2(c22, p[7], vAcc)
 			accountAdd(c, c22)
 			accountAdd(c, c22)
@@ -227,6 +269,9 @@ func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
 // inconsistent with its own post-additions; the algebra and the tests
 // pin the classical form).
 func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
+		return
+	}
 	if C.tiles == 1 {
 		e.leafMul(c, C, A, B)
 		return
@@ -240,6 +285,9 @@ func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
 
 	s1, s2, s3, s4, s5 := newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11)
+	if c.Cancelled() {
+		return
+	}
 	t1, t2, t3, t4, t5 := newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11)
 	pre := []func(*sched.Ctx){
 		func(c *sched.Ctx) { matEW3(s1, a11, a22, vAdd); accountAdd(c, s1) },
@@ -257,6 +305,9 @@ func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
 	for i := range p {
 		p[i] = newTemp(c11)
 	}
+	if c.Cancelled() {
+		return
+	}
 	mults := []func(*sched.Ctx){
 		func(c *sched.Ctx) { e.strassen(c, p[0], s1, t1) },
 		func(c *sched.Ctx) { e.strassen(c, p[1], s2, b11) },
@@ -268,32 +319,48 @@ func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
 	}
 	post := []func(*sched.Ctx){
 		func(c *sched.Ctx) { // C11 += P1 + P4 − P5 + P7
-			matEW2(c11, p[0], vAcc)
-			matEW2(c11, p[3], vAcc)
-			matEW2(c11, p[4], vDec)
-			matEW2(c11, p[6], vAcc)
-			for i := 0; i < 4; i++ {
+			for i, step := range []func(){
+				func() { matEW2(c11, p[0], vAcc) },
+				func() { matEW2(c11, p[3], vAcc) },
+				func() { matEW2(c11, p[4], vDec) },
+				func() { matEW2(c11, p[6], vAcc) },
+			} {
+				if i > 0 && ewCancelled(c) {
+					return
+				}
+				step()
 				accountAdd(c, c11)
 			}
 		},
 		func(c *sched.Ctx) { // C21 += P2 + P4
 			matEW2(c21, p[1], vAcc)
+			if ewCancelled(c) {
+				return
+			}
 			matEW2(c21, p[3], vAcc)
 			accountAdd(c, c21)
 			accountAdd(c, c21)
 		},
 		func(c *sched.Ctx) { // C12 += P3 + P5
 			matEW2(c12, p[2], vAcc)
+			if ewCancelled(c) {
+				return
+			}
 			matEW2(c12, p[4], vAcc)
 			accountAdd(c, c12)
 			accountAdd(c, c12)
 		},
 		func(c *sched.Ctx) { // C22 += P1 + P3 − P2 + P6
-			matEW2(c22, p[0], vAcc)
-			matEW2(c22, p[2], vAcc)
-			matEW2(c22, p[1], vDec)
-			matEW2(c22, p[5], vAcc)
-			for i := 0; i < 4; i++ {
+			for i, step := range []func(){
+				func() { matEW2(c22, p[0], vAcc) },
+				func() { matEW2(c22, p[2], vAcc) },
+				func() { matEW2(c22, p[1], vDec) },
+				func() { matEW2(c22, p[5], vAcc) },
+			} {
+				if i > 0 && ewCancelled(c) {
+					return
+				}
+				step()
 				accountAdd(c, c22)
 			}
 		},
@@ -321,6 +388,9 @@ func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
 // force dependencies among the pre-additions (grouped into four
 // independent chains) and among the post-additions.
 func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
+		return
+	}
 	if C.tiles == 1 {
 		e.leafMul(c, C, A, B)
 		return
@@ -334,10 +404,16 @@ func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
 
 	s1, s2, s3, s4 := newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11)
+	if c.Cancelled() {
+		return
+	}
 	t1, t2, t3, t4 := newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11)
 	pre := []func(*sched.Ctx){
 		func(c *sched.Ctx) { // chain S1 → S2 → S4
 			matEW3(s1, a21, a22, vAdd)
+			if ewCancelled(c) {
+				return
+			}
 			matEW3(s2, s1, a11, vSub)
 			matEW3(s4, a12, s2, vSub)
 			for i := 0; i < 3; i++ {
@@ -347,6 +423,9 @@ func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
 		func(c *sched.Ctx) { matEW3(s3, a11, a21, vSub); accountAdd(c, s3) },
 		func(c *sched.Ctx) { // chain T1 → T2 → T4
 			matEW3(t1, b12, b11, vSub)
+			if ewCancelled(c) {
+				return
+			}
 			matEW3(t2, b22, t1, vSub)
 			matEW3(t4, b21, t2, vSub)
 			for i := 0; i < 3; i++ {
@@ -357,6 +436,9 @@ func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
 	}
 	var p [7]Mat
 	for i := range p {
+		if c.Cancelled() {
+			return
+		}
 		p[i] = newTemp(c11)
 	}
 	mults := []func(*sched.Ctx){
@@ -381,21 +463,31 @@ func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
 	}
 	// Post-additions (U-chain). U2 and U3 are genuinely shared, so this
 	// stage is sequential apart from the independent C11 pair — the
-	// worse algorithmic locality the paper attributes to Winograd.
+	// worse algorithmic locality the paper attributes to Winograd. Near
+	// the root each pass touches O(n²) elements, so poll for
+	// cancellation between passes.
 	u2 := newTemp(c11)
-	matEW3(u2, p[0], p[3], vAdd) // U2 = P1 + P4
-	u6 := p[3]                   // reuse P4's storage
-	matEW3(u6, u2, p[2], vAdd)   // U6 = U2 + P3
-	matEW2(u2, p[4], vAcc)       // U3 = U2 + P5 (in place)
-	matEW2(c11, p[0], vAcc)      // C11 += P1 + P2
-	matEW2(c11, p[1], vAcc)
-	matEW2(c21, u2, vAcc) // C21 += U3 + P7
-	matEW2(c21, p[6], vAcc)
-	matEW2(c22, u2, vAcc) // C22 += U3 + P3
-	matEW2(c22, p[2], vAcc)
-	matEW2(c12, u6, vAcc) // C12 += U6 + P6
-	matEW2(c12, p[5], vAcc)
-	for i := 0; i < 11; i++ {
+	var u6 Mat
+	for i, step := range []func(){
+		func() { matEW3(u2, p[0], p[3], vAdd) }, // U2 = P1 + P4
+		func() {
+			u6 = p[3]                  // reuse P4's storage
+			matEW3(u6, u2, p[2], vAdd) // U6 = U2 + P3
+		},
+		func() { matEW2(u2, p[4], vAcc) },  // U3 = U2 + P5 (in place)
+		func() { matEW2(c11, p[0], vAcc) }, // C11 += P1 + P2
+		func() { matEW2(c11, p[1], vAcc) },
+		func() { matEW2(c21, u2, vAcc) }, // C21 += U3 + P7
+		func() { matEW2(c21, p[6], vAcc) },
+		func() { matEW2(c22, u2, vAcc) }, // C22 += U3 + P3
+		func() { matEW2(c22, p[2], vAcc) },
+		func() { matEW2(c12, u6, vAcc) }, // C12 += U6 + P6
+		func() { matEW2(c12, p[5], vAcc) },
+	} {
+		if i > 0 && ewCancelled(c) {
+			return
+		}
+		step()
 		accountAdd(c, c11)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -53,6 +54,25 @@ type Options struct {
 	// DisableSplit turns off the wide/lean submatrix decomposition of
 	// Figure 3, forcing a single (possibly heavily padded) tiling.
 	DisableSplit bool
+	// MemBudget, when positive, is an admission-control cap in bytes on
+	// the estimated footprint of each block multiplication (packed
+	// operands + algorithm temporaries + per-worker kernel scratch).
+	// When the requested configuration exceeds it, the driver degrades
+	// along a ladder — Strassen/Winograd → StrassenLowMem (serial) →
+	// Standard → Standard (serial) — and records each decision in
+	// Stats.Degraded; if even the smallest rung exceeds the budget the
+	// call fails with ErrMemBudget before allocating anything.
+	MemBudget int64
+	// MaxResidualGrowth, when positive, bounds the numerical error
+	// growth tolerated from a fast (Strassen-like) algorithm, in units
+	// of the standard algorithm's error floor (eps·k·|A|·|B|). Before
+	// running a fast algorithm the driver samples a small probe block
+	// from the operands, multiplies it with both the fast algorithm and
+	// the naive reference, and falls back to Standard (recorded in
+	// Stats.Degraded) when the measured growth exceeds this bound.
+	// Typical useful values are 8–100; the standard algorithm itself
+	// measures ≈1.
+	MaxResidualGrowth float64
 }
 
 func (o *Options) withDefaults() Options {
@@ -96,6 +116,18 @@ type Stats struct {
 	Kernel string
 	// Blocks counts the sub-multiplications after wide/lean splitting.
 	Blocks int
+	// Alg is the algorithm that actually ran — it differs from the
+	// requested one when graceful degradation stepped in.
+	Alg Alg
+	// Serial reports that degradation disabled parallel spawning.
+	Serial bool
+	// Degraded lists the degradation decisions (memory budget,
+	// residual-growth probe) taken for the first block, in order; empty
+	// means the requested configuration ran unchanged.
+	Degraded []string
+	// EstimatedBytes is the admission-control footprint estimate of the
+	// configuration that ran (first block).
+	EstimatedBytes int64
 }
 
 // Total returns the end-to-end wall time.
@@ -118,12 +150,41 @@ func (s *Stats) Parallelism() float64 {
 //
 // pool may be nil, in which case a transient pool with one worker per
 // CPU is used.
+//
+// GEMM is GEMMCtx with a background context.
 func GEMM(pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
 	A, B *matrix.Dense, beta float64, C *matrix.Dense) (*Stats, error) {
+	return GEMMCtx(context.Background(), pool, opts, transA, transB, alpha, A, B, beta, C)
+}
 
+// GEMMCtx is GEMM with cooperative cancellation and the hardened
+// failure contract: it never panics (panics anywhere in the recursion
+// are recovered, aggregated with worker-side stacks, and returned as a
+// *sched.TaskError), it validates scalars and tilings before touching
+// C, and it honors ctx — a cancelled context makes the call return an
+// error wrapping ctx's cause within a bounded latency.
+//
+// Failure atomicity: before any validation passes, C is untouched.
+// After admission, C is scaled by beta up front; if the call then fails
+// or is cancelled, C holds the β-scaled inputs (for beta == 0, zeros)
+// plus the fully-unpacked products of any *completed* blocks — never a
+// partially-written block product, since results are unpacked into C
+// only after a block's compute finishes. The error reports how many
+// blocks had completed.
+func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
+	A, B *matrix.Dense, beta float64, C *matrix.Dense) (stats *Stats, err error) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, recoveredError(r)
+		}
+	}()
 	o := opts.withDefaults()
 	if o.Curve == layout.RowMajor {
 		return nil, fmt.Errorf("core: the row-major layout is not supported by the multiplication driver")
+	}
+	if !isFinite(alpha) || !isFinite(beta) {
+		return nil, fmt.Errorf("%w: alpha=%v, beta=%v", ErrNonFinite, alpha, beta)
 	}
 	m, k := A.Rows, A.Cols
 	if transA {
@@ -143,6 +204,11 @@ func GEMM(pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
 		p := sched.NewPool(0)
 		defer p.Close()
 		pool = p
+	} else if pool.Closed() {
+		return nil, sched.ErrPoolClosed
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: GEMM not started: %w", cerr)
 	}
 
 	// β scaling happens once, up front, on the logical C; every block
@@ -155,22 +221,26 @@ func GEMM(pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
 		return &Stats{}, nil
 	}
 
-	stats := &Stats{}
+	stats = &Stats{}
 	ms := []tile.Seg{{Off: 0, Len: m}}
 	ks := []tile.Seg{{Off: 0, Len: k}}
 	ns := []tile.Seg{{Off: 0, Len: n}}
 	if !o.DisableSplit && o.ForceTile == 0 {
 		ms, ks, ns = o.Tile.SplitDims(m, k, n)
 	}
+	total := len(ms) * len(ks) * len(ns)
 	first := true
 	for _, sm := range ms {
 		for _, sn := range ns {
 			for _, sk := range ks {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("core: GEMM cancelled after %d of %d blocks: %w", stats.Blocks, total, cerr)
+				}
 				av := opView(A, transA, sm, sk)
 				bv := opView(B, transB, sk, sn)
 				cv := C.View(sm.Off, sn.Off, sm.Len, sn.Len)
-				if err := blockGEMM(pool, o, stats, first, transA, transB, alpha, av, bv, cv); err != nil {
-					return nil, err
+				if err := blockGEMM(ctx, pool, o, stats, first, transA, transB, alpha, av, bv, cv); err != nil {
+					return nil, fmt.Errorf("core: GEMM failed in block %d of %d: %w", stats.Blocks+1, total, err)
 				}
 				first = false
 				stats.Blocks++
@@ -190,24 +260,38 @@ func opView(X *matrix.Dense, trans bool, r, c tile.Seg) *matrix.Dense {
 	return X.View(r.Off, c.Off, r.Len, c.Len)
 }
 
-// choose determines depth and tile sizes for one block multiplication.
-func choose(o Options, m, k, n int) (d uint, tm, tk, tn int) {
+// choose determines depth and tile sizes for one block multiplication,
+// validating that the padded extents cannot overflow (an absurd
+// ForceTile or tile range yields ErrDimension instead of garbage
+// allocation sizes).
+func choose(o Options, m, k, n int) (d uint, tm, tk, tn int, err error) {
 	if o.ForceTile > 0 {
 		t := o.ForceTile
 		d = 0
 		for _, dim := range []int{m, k, n} {
 			need := uint(0)
-			for (t << need) < dim {
+			// The shift below is safe: dim and t are positive ints, and
+			// need grows only while t<<need < dim ≤ MaxInt, so it stays
+			// far below the width of int.
+			for need < 62 && (t<<need) < dim {
 				need++
+			}
+			if (t << need) < dim {
+				return 0, 0, 0, 0, fmt.Errorf("%w: ForceTile=%d cannot cover %dx%dx%d", ErrDimension, t, m, k, n)
 			}
 			if need > d {
 				d = need
 			}
 		}
-		return d, t, t, t
+		tm, tk, tn = t, t, t
+	} else {
+		ch := o.Tile.Pick(m, k, n)
+		d, tm, tk, tn = ch.D, ch.Tiles[0], ch.Tiles[1], ch.Tiles[2]
 	}
-	ch := o.Tile.Pick(m, k, n)
-	return ch.D, ch.Tiles[0], ch.Tiles[1], ch.Tiles[2]
+	if _, _, _, err := paddedDims(d, tm, tk, tn); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return d, tm, tk, tn, nil
 }
 
 // resolveKernel turns the Options kernel selection into the executable
@@ -230,8 +314,13 @@ func resolveKernel(o Options, tm, tk, tn int) (leaf.Kernel, leaf.ScratchKernel, 
 }
 
 // blockGEMM multiplies one squat block: Cv += alpha·op(Av)·op(Bv), with
-// beta already applied to C by the caller.
-func blockGEMM(pool *sched.Pool, o Options, stats *Stats, record bool,
+// beta already applied to C by the caller. Admission control and the
+// degradation ladder run here, before any allocation: the algorithm
+// that actually executes may be a cheaper rung than the requested one,
+// with every decision recorded in stats.Degraded (first block only —
+// the wide/lean segments share near-identical shapes, so the decisions
+// coincide across blocks).
+func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, record bool,
 	transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
 	m, n := Cv.Rows, Cv.Cols
@@ -239,26 +328,53 @@ func blockGEMM(pool *sched.Pool, o Options, stats *Stats, record bool,
 	if transA {
 		k = Av.Rows
 	}
-	d, tm, tk, tn := choose(o, m, k, n)
+	d, tm, tk, tn, err := choose(o, m, k, n)
+	if err != nil {
+		return err
+	}
+	mp, kp, np, err := paddedDims(d, tm, tk, tn)
+	if err != nil {
+		return err
+	}
 	kern, skern, kname, err := resolveKernel(o, tm, tk, tn)
 	if err != nil {
 		return err
 	}
+	alg, serial, est, notes, err := admit(o, pool.Workers(), mp, kp, np, tm, tk, tn)
+	if err != nil {
+		return err
+	}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+	if o.MaxResidualGrowth > 0 && isFastAlg(alg) {
+		if growth := probeResidualGrowth(e, alg, transA, transB, Av, Bv); growth > o.MaxResidualGrowth {
+			notes = append(notes, fmt.Sprintf("residual-probe: %v growth %.1f > bound %.1f; degraded to %v",
+				alg, growth, o.MaxResidualGrowth, Standard))
+			alg = Standard
+		}
+	}
+	if serial {
+		// Degraded-to-serial: stop all spawning so only one depth-first
+		// path of temporaries (and one worker's kernel scratch) is live.
+		e.serialCutoff = 1 << 30
+	}
 	if record {
 		stats.Depth = d
 		stats.TileM, stats.TileK, stats.TileN = tm, tk, tn
-		stats.PaddedM, stats.PaddedK, stats.PaddedN = tm<<d, tk<<d, tn<<d
+		stats.PaddedM, stats.PaddedK, stats.PaddedN = mp, kp, np
 		stats.Kernel = kname
+		stats.Alg = alg
+		stats.Serial = serial
+		stats.Degraded = notes
+		stats.EstimatedBytes = est
 	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
 
 	if o.Curve == layout.ColMajor {
-		return blockCanonical(pool, o, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+		return blockCanonical(ctx, pool, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
 	}
-	return blockRecursive(pool, o, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+	return blockRecursive(ctx, pool, o, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
 }
 
-func blockRecursive(pool *sched.Pool, o Options, e *exec, stats *Stats,
+func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e *exec, stats *Stats,
 	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
 	opDims := func(x *matrix.Dense, trans bool) (int, int) {
@@ -270,40 +386,58 @@ func blockRecursive(pool *sched.Pool, o Options, e *exec, stats *Stats,
 	t0 := time.Now()
 	ar, ac := opDims(Av, transA)
 	ta := NewTiled(o.Curve, d, tm, tk, ar, ac)
-	ta.Pack(pool, Av, transA, alpha)
+	if err := ta.Pack(ctx, pool, Av, transA, alpha); err != nil {
+		return err
+	}
 	br, bc := opDims(Bv, transB)
 	tb := NewTiled(o.Curve, d, tk, tn, br, bc)
-	tb.Pack(pool, Bv, transB, 1)
+	if err := tb.Pack(ctx, pool, Bv, transB, 1); err != nil {
+		return err
+	}
 	tc := NewTiled(o.Curve, d, tm, tn, Cv.Rows, Cv.Cols)
-	tc.Pack(pool, Cv, false, 1)
+	if err := tc.Pack(ctx, pool, Cv, false, 1); err != nil {
+		return err
+	}
 	stats.ConvertIn += time.Since(t0)
 
 	t1 := time.Now()
 	cm, am, bm := tc.Mat(), ta.Mat(), tb.Mat()
-	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })
+	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
 	stats.Compute += time.Since(t1)
 	stats.Work += work
 	if span > stats.Span {
 		stats.Span = span
 	}
+	if err != nil {
+		// The packed result is incomplete; leave Cv untouched.
+		return err
+	}
 
 	t2 := time.Now()
-	tc.Unpack(pool, Cv)
+	if err := tc.Unpack(ctx, pool, Cv); err != nil {
+		return err
+	}
 	stats.ConvertOut += time.Since(t2)
 	return nil
 }
 
-func blockCanonical(pool *sched.Pool, o Options, e *exec, stats *Stats,
+func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, stats *Stats,
 	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
 	mp, kp, np := tm<<d, tk<<d, tn<<d
 	t0 := time.Now()
 	ap := matrix.New(mp, kp)
-	packPadded(pool, ap, Av, transA, alpha)
+	if err := packPadded(ctx, pool, ap, Av, transA, alpha); err != nil {
+		return err
+	}
 	bp := matrix.New(kp, np)
-	packPadded(pool, bp, Bv, transB, 1)
+	if err := packPadded(ctx, pool, bp, Bv, transB, 1); err != nil {
+		return err
+	}
 	cp := matrix.New(mp, np)
-	packPadded(pool, cp, Cv, false, 1)
+	if err := packPadded(ctx, pool, cp, Cv, false, 1); err != nil {
+		return err
+	}
 	stats.ConvertIn += time.Since(t0)
 
 	mk := func(x *matrix.Dense, tr, tc int) Mat {
@@ -311,15 +445,21 @@ func blockCanonical(pool *sched.Pool, o Options, e *exec, stats *Stats,
 	}
 	cm, am, bm := mk(cp, tm, tn), mk(ap, tm, tk), mk(bp, tk, tn)
 	t1 := time.Now()
-	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })
+	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
 	stats.Compute += time.Since(t1)
 	stats.Work += work
 	if span > stats.Span {
 		stats.Span = span
 	}
+	if err != nil {
+		// The padded result is incomplete; leave Cv untouched.
+		return err
+	}
 
 	t2 := time.Now()
-	unpackPadded(pool, Cv, cp)
+	if err := unpackPadded(ctx, pool, Cv, cp); err != nil {
+		return err
+	}
 	stats.ConvertOut += time.Since(t2)
 	return nil
 }
@@ -327,8 +467,23 @@ func blockCanonical(pool *sched.Pool, o Options, e *exec, stats *Stats,
 // MulTiled runs C += A·B directly on pre-converted tiled operands,
 // bypassing conversion — the entry point benchmarks use to time the
 // multiplication alone. The three operands must share curve and depth,
-// with conforming tile shapes.
+// with conforming tile shapes. MulTiled is MulTiledCtx with a
+// background context.
 func MulTiled(pool *sched.Pool, opts Options, C, A, B *Tiled) (*Stats, error) {
+	return MulTiledCtx(context.Background(), pool, opts, C, A, B)
+}
+
+// MulTiledCtx is MulTiled with cooperative cancellation and the same
+// panic-to-error boundary as GEMMCtx. On cancellation or failure the
+// tiled C must be considered corrupt: unlike GEMMCtx there is no
+// private packed copy, so partial quadrant products may already have
+// accumulated into it.
+func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *Tiled) (stats *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, recoveredError(r)
+		}
+	}()
 	o := opts.withDefaults()
 	if A.Curve != C.Curve || B.Curve != C.Curve {
 		return nil, fmt.Errorf("core: curve mismatch")
@@ -344,20 +499,33 @@ func MulTiled(pool *sched.Pool, opts Options, C, A, B *Tiled) (*Stats, error) {
 		p := sched.NewPool(0)
 		defer p.Close()
 		pool = p
+	} else if pool.Closed() {
+		return nil, sched.ErrPoolClosed
 	}
 	kern, skern, kname, err := resolveKernel(o, C.TR, A.TC, C.TC)
 	if err != nil {
 		return nil, err
 	}
+	alg, serial, est, notes, err := admit(o, pool.Workers(),
+		C.PaddedRows(), A.PaddedCols(), C.PaddedCols(), C.TR, A.TC, C.TC)
+	if err != nil {
+		return nil, err
+	}
 	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
-	stats := &Stats{Depth: C.D, TileM: C.TR, TileK: A.TC, TileN: C.TC,
+	if serial {
+		e.serialCutoff = 1 << 30
+	}
+	stats = &Stats{Depth: C.D, TileM: C.TR, TileK: A.TC, TileN: C.TC,
 		PaddedM: C.PaddedRows(), PaddedK: A.PaddedCols(), PaddedN: C.PaddedCols(),
-		Kernel: kname, Blocks: 1}
+		Kernel: kname, Blocks: 1, Alg: alg, Serial: serial, Degraded: notes, EstimatedBytes: est}
 	t0 := time.Now()
 	cm, am, bm := C.Mat(), A.Mat(), B.Mat()
-	work, span := pool.Run(func(c *sched.Ctx) { e.mul(c, o.Alg, cm, am, bm) })
+	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
 	stats.Compute = time.Since(t0)
 	stats.Work, stats.Span = work, span
+	if err != nil {
+		return nil, err
+	}
 	return stats, nil
 }
 

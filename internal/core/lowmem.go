@@ -22,6 +22,9 @@ import (
 // layouts (recursive layouts help it by 10–20%). The ablation benchmark
 // at the repository root reproduces that comparison.
 func (e *exec) strassenLowMem(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
+		return
+	}
 	if C.tiles == 1 {
 		e.leafMul(c, C, A, B)
 		return

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/layout"
 	"repro/internal/matrix"
 )
@@ -286,6 +287,7 @@ func matEW3(dst, a, b Mat, f func(dst, a, b []float64)) {
 // halving that Section 5.1 identifies as the reason the fast algorithms
 // are robust on canonical layouts.
 func newTemp(proto Mat) Mat {
+	faultinject.Alloc("core.newTemp")
 	t := proto
 	t.data = make([]float64, proto.elems())
 	if proto.tiledStore() {

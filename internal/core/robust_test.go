@@ -1,0 +1,424 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+func refProduct(n int, A, B *matrix.Dense) *matrix.Dense {
+	want := matrix.New(n, n)
+	matrix.RefGEMM(false, false, 1, A, B, 0, want)
+	return want
+}
+
+func TestNonFiniteScalarsRejected(t *testing.T) {
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	A := matrix.Identity(8)
+	C := matrix.New(8, 8)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := GEMM(pool, Options{}, false, false, bad, A, A, 0, C); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("alpha=%v: err = %v, want ErrNonFinite", bad, err)
+		}
+		if _, err := GEMM(pool, Options{}, false, false, 1, A, A, bad, C); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("beta=%v: err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+func TestForceTileOverflowRejected(t *testing.T) {
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	A := matrix.Identity(8)
+	C := matrix.New(8, 8)
+	// An absurd forced tile must yield ErrDimension, not an attempt to
+	// allocate a 2^31-sided padded matrix.
+	if _, err := GEMM(pool, Options{ForceTile: 1 << 31}, false, false, 1, A, A, 0, C); !errors.Is(err, ErrDimension) {
+		t.Fatalf("ForceTile=1<<31: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestGEMMCtxOnClosedPool(t *testing.T) {
+	pool := sched.NewPool(1)
+	pool.Close()
+	A := matrix.Identity(8)
+	C := matrix.New(8, 8)
+	if _, err := GEMM(pool, Options{}, false, false, 1, A, A, 0, C); !errors.Is(err, sched.ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestMemBudgetDegradesAndStaysCorrect(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(7))
+	n := 128
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	want := refProduct(n, A, B)
+
+	// With this budget the parallel Strassen footprint (~1.9 MiB at
+	// 128³, ForceTile 16, 2 workers) exceeds the budget but the serial
+	// low-memory rung (~0.5 MiB) fits.
+	opts := Options{Curve: layout.ZMorton, Alg: Strassen, ForceTile: 16, MemBudget: 600_000}
+	C := matrix.New(n, n)
+	stats, err := GEMM(pool, opts, false, false, 1, A, B, 0, C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Alg != StrassenLowMem || !stats.Serial {
+		t.Fatalf("degraded to %v (serial=%v), want StrassenLowMem (serial)", stats.Alg, stats.Serial)
+	}
+	if len(stats.Degraded) == 0 {
+		t.Fatal("degradation not recorded in Stats.Degraded")
+	}
+	if stats.EstimatedBytes <= 0 || stats.EstimatedBytes > opts.MemBudget {
+		t.Fatalf("EstimatedBytes = %d, want in (0, %d]", stats.EstimatedBytes, opts.MemBudget)
+	}
+	if !matrix.Equal(C, want, 1e-10) {
+		t.Fatalf("degraded multiply wrong (max diff %g)", matrix.MaxAbsDiff(C, want))
+	}
+}
+
+func TestMemBudgetUnlimitedByDefault(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(8))
+	n := 64
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	C := matrix.New(n, n)
+	stats, err := GEMM(pool, Options{Curve: layout.ZMorton, Alg: Strassen, ForceTile: 16}, false, false, 1, A, B, 0, C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Alg != Strassen || stats.Serial || len(stats.Degraded) != 0 {
+		t.Fatalf("no-budget run degraded: alg=%v serial=%v notes=%v", stats.Alg, stats.Serial, stats.Degraded)
+	}
+}
+
+func TestMemBudgetRejectsWhenNothingFits(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	A := matrix.Identity(128)
+	C := matrix.New(128, 128)
+	// Even the temporary-free serial standard rung needs the three
+	// packed operands (~400 KiB); a 1 KB budget admits nothing.
+	_, err := GEMM(pool, Options{Curve: layout.ZMorton, Alg: Strassen, ForceTile: 16, MemBudget: 1000},
+		false, false, 1, A, A, 0, C)
+	if !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("err = %v, want ErrMemBudget", err)
+	}
+	// Admission control fires before C is scaled or touched.
+	for i, v := range C.Data {
+		if v != 0 {
+			t.Fatalf("C modified at %d despite admission rejection", i)
+		}
+	}
+}
+
+func TestResidualProbeDegradesToStandard(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(9))
+	n := 64
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	want := refProduct(n, A, B)
+
+	// A bound far below any realistic Strassen residual forces the
+	// probe to degrade.
+	opts := Options{Curve: layout.ZMorton, Alg: Strassen, ForceTile: 16, MaxResidualGrowth: 1e-9}
+	C := matrix.New(n, n)
+	stats, err := GEMM(pool, opts, false, false, 1, A, B, 0, C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Alg != Standard {
+		t.Fatalf("alg = %v, want Standard after probe degradation", stats.Alg)
+	}
+	if len(stats.Degraded) == 0 {
+		t.Fatal("probe degradation not recorded")
+	}
+	if !matrix.Equal(C, want, 1e-10) {
+		t.Fatalf("degraded multiply wrong (max diff %g)", matrix.MaxAbsDiff(C, want))
+	}
+}
+
+func TestResidualProbeAllowsFastAlgorithm(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(10))
+	n := 64
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	opts := Options{Curve: layout.ZMorton, Alg: Strassen, ForceTile: 16, MaxResidualGrowth: 1e12}
+	C := matrix.New(n, n)
+	stats, err := GEMM(pool, opts, false, false, 1, A, B, 0, C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Alg != Strassen || len(stats.Degraded) != 0 {
+		t.Fatalf("generous bound still degraded: alg=%v notes=%v", stats.Alg, stats.Degraded)
+	}
+}
+
+func TestGEMMCtxPreCancelled(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	A := matrix.Identity(16)
+	C := matrix.New(16, 16)
+	for i := range C.Data {
+		C.Data[i] = 7
+	}
+	_, err := GEMMCtx(ctx, pool, Options{}, false, false, 1, A, A, 2, C)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Rejected before admission: C (including its beta scaling) is
+	// untouched.
+	for i, v := range C.Data {
+		if v != 7 {
+			t.Fatalf("C modified at %d by pre-cancelled call", i)
+		}
+	}
+}
+
+func TestCancelMidRunLeavesCScaledOrComplete(t *testing.T) {
+	// The atomicity contract: after a cancelled run C holds exactly the
+	// beta-scaled input (zeros here) or, if compute won the race, the
+	// complete product — never a partial block.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(11))
+	n := 256
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	want := refProduct(n, A, B)
+	zeros := matrix.New(n, n)
+
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		C := matrix.New(n, n)
+		for i := range C.Data {
+			C.Data[i] = 7
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		// ForceTile keeps this a single block, so the contract reduces
+		// to: C is all zeros (beta-scaled), all sevens (pre-admission),
+		// or the complete product.
+		_, err := GEMMCtx(ctx, pool, Options{Curve: layout.Hilbert, Alg: Winograd, ForceTile: 32}, false, false, 1, A, B, 0, C)
+		cancel()
+		switch {
+		case err == nil:
+			if !matrix.Equal(C, want, 1e-10) {
+				t.Fatalf("delay %v: successful run wrong (max diff %g)", delay, matrix.MaxAbsDiff(C, want))
+			}
+		case errors.Is(err, context.Canceled):
+			if !matrix.Equal(C, zeros, 0) {
+				// Cancelled before beta scaling: C must be untouched.
+				allSeven := true
+				for _, v := range C.Data {
+					if v != 7 {
+						allSeven = false
+						break
+					}
+				}
+				if !allSeven {
+					t.Fatalf("delay %v: cancelled run left partial state in C", delay)
+				}
+			}
+		default:
+			t.Fatalf("delay %v: unexpected error %v", delay, err)
+		}
+	}
+}
+
+func TestCancellationLatencyBounded(t *testing.T) {
+	// A cancelled context must abort the compute within the promised
+	// bound (roughly one leaf kernel; the acceptance bound is 250 ms).
+	pool := sched.NewPool(0)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(12))
+	n := 1024
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	C := matrix.New(n, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := GEMMCtx(ctx, pool, Options{Curve: layout.ZMorton, Alg: Strassen}, false, false, 1, A, B, 0, C)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the compute get going
+	t0 := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if lat := time.Since(t0); err != nil && lat > 250*time.Millisecond {
+			t.Fatalf("cancellation took %v, want <= 250ms", lat)
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled GEMM never returned")
+	}
+}
+
+func TestCancellationStorm(t *testing.T) {
+	// Repeated cancellations at varied points must never corrupt a
+	// successful run, leak an inconsistent pool, or panic.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(13))
+	n := 128
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	want := refProduct(n, A, B)
+	for i := 0; i < 12; i++ {
+		C := matrix.New(n, n)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(i%5) * 300 * time.Microsecond)
+		_, err := GEMMCtx(ctx, pool, Options{Curve: layout.ZMorton, Alg: Standard8}, false, false, 1, A, B, 0, C)
+		cancel()
+		if err == nil && !matrix.Equal(C, want, 1e-10) {
+			t.Fatalf("iter %d: uncancelled run wrong", i)
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iter %d: unexpected error %v", i, err)
+		}
+	}
+	// Pool must still run clean work.
+	C := matrix.New(n, n)
+	if _, err := GEMM(pool, Options{}, false, false, 1, A, B, 0, C); err != nil {
+		t.Fatalf("pool broken after storm: %v", err)
+	}
+	if !matrix.Equal(C, want, 1e-10) {
+		t.Fatal("post-storm run wrong")
+	}
+}
+
+// stressFaults enables fault injection for a TestStress* function,
+// honoring an externally supplied RECMAT_FAULTS configuration (the
+// `make stress` path) and otherwise installing a deterministic default.
+// The returned func restores the disabled state.
+func stressFaults() func() {
+	if faultinject.Enabled() {
+		return func() {}
+	}
+	// Low per-hook probabilities: a multiplication crosses hundreds of
+	// hook sites, so these rates produce a healthy mix of failed and
+	// clean runs (both branches of the stress assertions matter).
+	faultinject.Configure(faultinject.Config{
+		PanicProb: 0.002,
+		AllocProb: 0.005,
+		DelayProb: 0.005,
+		Delay:     50 * time.Microsecond,
+		Seed:      7,
+	})
+	return faultinject.Disable
+}
+
+func TestStressGEMMFaultInjection(t *testing.T) {
+	defer stressFaults()()
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(14))
+	n := 96
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+	want := refProduct(n, A, B)
+
+	failures := 0
+	for i := 0; i < 30; i++ {
+		C := matrix.New(n, n)
+		opts := Options{Curve: layout.ZMorton, Alg: []Alg{Standard, Strassen, Winograd}[i%3], ForceTile: 16}
+		stats, err := GEMM(pool, opts, false, false, 1, A, B, 0, C)
+		if err == nil {
+			if stats == nil {
+				t.Fatal("nil stats on success")
+			}
+			// Delay faults may have fired, but a successful return must
+			// still be numerically correct.
+			if !matrix.Equal(C, want, 1e-10) {
+				t.Fatalf("iter %d: successful run under faults is wrong (max diff %g)",
+					i, matrix.MaxAbsDiff(C, want))
+			}
+			continue
+		}
+		failures++
+		// Every injected failure must surface as a typed, inspectable
+		// error: the *Fault panic value stays reachable through the
+		// TaskError aggregation.
+		var fault *faultinject.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("iter %d: error %v does not unwrap to *faultinject.Fault", i, err)
+		}
+	}
+	t.Logf("fault stress: %d/30 runs failed (injected)", failures)
+
+	// The pool survives everything the storm threw at it.
+	faultinject.Disable()
+	C := matrix.New(n, n)
+	if _, err := GEMM(pool, Options{}, false, false, 1, A, B, 0, C); err != nil {
+		t.Fatalf("pool broken after fault stress: %v", err)
+	}
+	if !matrix.Equal(C, want, 1e-10) {
+		t.Fatal("post-stress run wrong")
+	}
+}
+
+func TestStressMulTiledFaultInjection(t *testing.T) {
+	defer stressFaults()()
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(15))
+	n := 64
+	A := matrix.Random(n, n, rng)
+	B := matrix.Random(n, n, rng)
+
+	// Every stage — Pack, the multiplication, anything on the pool —
+	// may fail under injection, but always with an error that unwraps
+	// to the injected *Fault, never an escaping panic.
+	mustBeInjected := func(i int, stage string, err error) {
+		t.Helper()
+		var fault *faultinject.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("iter %d: %s error does not unwrap to *faultinject.Fault: %v", i, stage, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		ta := NewTiled(layout.Hilbert, 2, 16, 16, n, n)
+		tb := NewTiled(layout.Hilbert, 2, 16, 16, n, n)
+		tc := NewTiled(layout.Hilbert, 2, 16, 16, n, n)
+		if err := ta.Pack(context.Background(), pool, A, false, 1); err != nil {
+			mustBeInjected(i, "pack A", err)
+			continue
+		}
+		if err := tb.Pack(context.Background(), pool, B, false, 1); err != nil {
+			mustBeInjected(i, "pack B", err)
+			continue
+		}
+		if _, err := MulTiled(pool, Options{Alg: Strassen}, tc, ta, tb); err != nil {
+			mustBeInjected(i, "MulTiled", err)
+		}
+	}
+}

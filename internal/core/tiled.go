@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/layout"
@@ -78,19 +79,42 @@ func parallelRanges(n, chunks int) [][2]int {
 	return rs
 }
 
-// runChunks executes f over the ranges in parallel on the pool.
-func runChunks(pool *sched.Pool, n int, f func(lo, hi int)) {
-	rs := parallelRanges(n, pool.Workers()*4)
+// runChunks executes f over the ranges in parallel on the pool,
+// honoring ctx: a cancelled context stops chunks that have not started
+// (each chunk is one task, so cancellation latency is bounded by one
+// chunk) and surfaces the context error. Panics inside f on the pool
+// are returned as a *sched.TaskError; the single-chunk fast path runs
+// on the caller's goroutine, where a panic propagates raw to the
+// public-API recover boundary.
+func runChunks(ctx context.Context, pool *sched.Pool, n int, f func(lo, hi int)) error {
+	// The single-chunk fast path never touches the pool, so check the
+	// closed and cancelled states explicitly to keep the error contract
+	// uniform across problem sizes.
+	if pool.Closed() {
+		return sched.ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: not started: %w", context.Cause(ctx))
+	}
+	// At least 32 chunks regardless of worker count: each chunk is one
+	// task and tasks are the cancellation granularity, so small chunks
+	// bound the abort latency even on a single worker.
+	chunks := pool.Workers() * 4
+	if chunks < 32 {
+		chunks = 32
+	}
+	rs := parallelRanges(n, chunks)
 	if len(rs) == 1 {
 		f(rs[0][0], rs[0][1])
-		return
+		return nil
 	}
 	fns := make([]func(*sched.Ctx), len(rs))
 	for i, r := range rs {
 		r := r
 		fns[i] = func(*sched.Ctx) { f(r[0], r[1]) }
 	}
-	pool.Run(func(c *sched.Ctx) { c.Parallel(fns...) })
+	_, _, err := pool.RunCtx(ctx, func(c *sched.Ctx) { c.Parallel(fns...) })
+	return err
 }
 
 // Pack converts op(src), scaled by alpha, from column-major into the
@@ -100,17 +124,17 @@ func runChunks(pool *sched.Pool, n int, f func(lo, hi int)) {
 // amenable to parallel execution"). Any required transposition is folded
 // into this step, so the multiplication core needs no transposed
 // variants.
-func (t *Tiled) Pack(pool *sched.Pool, src *matrix.Dense, trans bool, alpha float64) {
+func (t *Tiled) Pack(ctx context.Context, pool *sched.Pool, src *matrix.Dense, trans bool, alpha float64) error {
 	srows, scols := src.Rows, src.Cols
 	if trans {
 		srows, scols = scols, srows
 	}
 	if srows != t.Rows || scols != t.Cols {
-		panic(fmt.Sprintf("core: pack %dx%d into tiled %dx%d", srows, scols, t.Rows, t.Cols))
+		return fmt.Errorf("core: pack %dx%d into tiled %dx%d", srows, scols, t.Rows, t.Cols)
 	}
 	side := 1 << t.D
 	ts := t.TR * t.TC
-	runChunks(pool, side*side, func(lo, hi int) {
+	return runChunks(ctx, pool, side*side, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			ti, tj := t.Curve.SInverse(uint64(s), t.D)
 			base := s * ts
@@ -151,13 +175,13 @@ func (t *Tiled) Pack(pool *sched.Pool, src *matrix.Dense, trans bool, alpha floa
 
 // Unpack copies the logical region back out to a column-major matrix,
 // discarding padding. Parallelized over tiles like Pack.
-func (t *Tiled) Unpack(pool *sched.Pool, dst *matrix.Dense) {
+func (t *Tiled) Unpack(ctx context.Context, pool *sched.Pool, dst *matrix.Dense) error {
 	if dst.Rows != t.Rows || dst.Cols != t.Cols {
-		panic(fmt.Sprintf("core: unpack tiled %dx%d into %dx%d", t.Rows, t.Cols, dst.Rows, dst.Cols))
+		return fmt.Errorf("core: unpack tiled %dx%d into %dx%d", t.Rows, t.Cols, dst.Rows, dst.Cols)
 	}
 	side := 1 << t.D
 	ts := t.TR * t.TC
-	runChunks(pool, side*side, func(lo, hi int) {
+	return runChunks(ctx, pool, side*side, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			ti, tj := t.Curve.SInverse(uint64(s), t.D)
 			base := s * ts
@@ -185,15 +209,15 @@ func (t *Tiled) Unpack(pool *sched.Pool, dst *matrix.Dense) {
 // matrix — the conversion step for the canonical-layout (L_C) runs,
 // which still need padding so that the identical recursive control
 // structure applies. Parallelized over destination columns.
-func packPadded(pool *sched.Pool, dst, src *matrix.Dense, trans bool, alpha float64) {
+func packPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, trans bool, alpha float64) error {
 	srows, scols := src.Rows, src.Cols
 	if trans {
 		srows, scols = scols, srows
 	}
 	if srows > dst.Rows || scols > dst.Cols {
-		panic("core: packPadded destination too small")
+		return fmt.Errorf("core: packPadded destination %dx%d too small for %dx%d", dst.Rows, dst.Cols, srows, scols)
 	}
-	runChunks(pool, dst.Cols, func(lo, hi int) {
+	return runChunks(ctx, pool, dst.Cols, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dcol := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
 			if j >= scols {
@@ -219,8 +243,8 @@ func packPadded(pool *sched.Pool, dst, src *matrix.Dense, trans bool, alpha floa
 
 // unpackPadded copies the logical region of a padded column-major
 // matrix back into dst.
-func unpackPadded(pool *sched.Pool, dst, src *matrix.Dense) {
-	runChunks(pool, dst.Cols, func(lo, hi int) {
+func unpackPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense) error {
+	return runChunks(ctx, pool, dst.Cols, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			copy(dst.Data[j*dst.Stride:j*dst.Stride+dst.Rows],
 				src.Data[j*src.Stride:j*src.Stride+dst.Rows])

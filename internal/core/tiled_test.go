@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -29,9 +30,9 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 			}
 			src := matrix.Random(rows, cols, rng)
 			tl := NewTiled(cv, d, tr, tc, rows, cols)
-			tl.Pack(pool, src, false, 1)
+			tl.Pack(context.Background(), pool, src, false, 1)
 			dst := matrix.New(rows, cols)
-			tl.Unpack(pool, dst)
+			tl.Unpack(context.Background(), pool, dst)
 			if !matrix.Equal(dst, src, 0) {
 				t.Errorf("%v %v: pack/unpack round trip failed", cv, dims)
 			}
@@ -49,7 +50,7 @@ func TestPackAtMatchesLayoutFunction(t *testing.T) {
 		d := uint(2)
 		src := matrix.Sequential(rows, cols)
 		tl := NewTiled(cv, d, tr, tc, rows, cols)
-		tl.Pack(pool, src, false, 1)
+		tl.Pack(context.Background(), pool, src, false, 1)
 		for i := 0; i < rows; i++ {
 			for j := 0; j < cols; j++ {
 				if tl.At(i, j) != src.At(i, j) {
@@ -66,7 +67,7 @@ func TestPackTransposeAndScale(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	src := matrix.Random(9, 14, rng)
 	tl := NewTiled(layout.ZMorton, 2, 4, 3, 14, 9) // holds srcᵀ
-	tl.Pack(pool, src, true, -2)
+	tl.Pack(context.Background(), pool, src, true, -2)
 	for i := 0; i < 14; i++ {
 		for j := 0; j < 9; j++ {
 			if tl.At(i, j) != -2*src.At(j, i) {
@@ -88,7 +89,7 @@ func TestPackZeroPadding(t *testing.T) {
 	for i := range tl.Data {
 		tl.Data[i] = 99
 	}
-	tl.Pack(pool, src, false, 1)
+	tl.Pack(context.Background(), pool, src, false, 1)
 	side := 1 << tl.D
 	for ti := 0; ti < side; ti++ {
 		for tj := 0; tj < side; tj++ {
@@ -174,7 +175,7 @@ func TestMatEWOrientationAlignment(t *testing.T) {
 	for _, cv := range []layout.Curve{layout.GrayMorton, layout.Hilbert} {
 		src := matrix.Random(16, 16, rng)
 		tl := NewTiled(cv, 3, 2, 2, 16, 16)
-		tl.Pack(pool, src, false, 1)
+		tl.Pack(context.Background(), pool, src, false, 1)
 		m := tl.Mat()
 		nw, ne := m.quad(layout.QuadNW), m.quad(layout.QuadNE)
 		if cv.Orientations() > 1 && nw.orient == ne.orient {
@@ -223,15 +224,15 @@ func TestMulTiledMatchesGEMM(t *testing.T) {
 
 	for _, cv := range layout.RecursiveCurves {
 		ta := NewTiled(cv, 3, 4, 4, n, n)
-		ta.Pack(pool, A, false, 1)
+		ta.Pack(context.Background(), pool, A, false, 1)
 		tb := NewTiled(cv, 3, 4, 4, n, n)
-		tb.Pack(pool, B, false, 1)
+		tb.Pack(context.Background(), pool, B, false, 1)
 		tc := NewTiled(cv, 3, 4, 4, n, n)
 		if _, err := MulTiled(pool, Options{Alg: Winograd}, tc, ta, tb); err != nil {
 			t.Fatal(err)
 		}
 		got := matrix.New(n, n)
-		tc.Unpack(pool, got)
+		tc.Unpack(context.Background(), pool, got)
 		if !matrix.Equal(got, want, 1e-11) {
 			t.Errorf("%v: MulTiled wrong (max diff %g)", cv, matrix.MaxAbsDiff(got, want))
 		}
@@ -273,9 +274,9 @@ func TestPackParallelMatchesSerial(t *testing.T) {
 		cv := layout.RecursiveCurves[rng.Intn(len(layout.RecursiveCurves))]
 		src := matrix.Random(rows, cols, rng)
 		t1 := NewTiled(cv, d, tr, tc, rows, cols)
-		t1.Pack(big, src, false, 1)
+		t1.Pack(context.Background(), big, src, false, 1)
 		t2 := NewTiled(cv, d, tr, tc, rows, cols)
-		t2.Pack(one, src, false, 1)
+		t2.Pack(context.Background(), one, src, false, 1)
 		for i := range t1.Data {
 			if t1.Data[i] != t2.Data[i] {
 				return false

@@ -1,0 +1,200 @@
+// Package faultinject provides probabilistic fault hooks — injected
+// panics, delays, and simulated allocation failures — that the
+// scheduler and the multiplication driver compile in permanently. The
+// hooks cost one atomic load when injection is disabled (the default),
+// so they are safe on hot paths; enabling them turns the library's
+// failure handling into something a stress suite can exercise
+// deterministically.
+//
+// Injection is configured programmatically with Configure, or for whole
+// processes (the cmd/ binaries, `make stress`) through the RECMAT_FAULTS
+// environment variable, parsed at init:
+//
+//	RECMAT_FAULTS="panic=0.02,alloc=0.02,delay=0.01/200us,seed=7"
+//
+// where panic/alloc/delay are per-hook firing probabilities, the value
+// after the slash is the sleep duration for delay faults, and seed makes
+// the (splitmix64) fault stream reproducible.
+//
+// An injected panic carries a *Fault value, which is an error, so after
+// the library's panic-to-error conversion errors.As(err, &fault) finds
+// it — tests distinguish injected faults from genuine bugs that way.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is the panic value of an injected fault.
+type Fault struct {
+	// Site names the instrumentation point that fired (e.g.
+	// "core.newTemp").
+	Site string
+	// Kind is "panic" for Point faults and "alloc" for Alloc faults.
+	Kind string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected %s fault at %s", f.Kind, f.Site)
+}
+
+// Config sets the firing probabilities of the hooks. All probabilities
+// are clamped to [0, 1]; a zero Config disables everything.
+type Config struct {
+	// PanicProb is the probability that a Point call panics.
+	PanicProb float64
+	// DelayProb is the probability that a Point call sleeps for Delay.
+	DelayProb float64
+	// Delay is the sleep applied when a delay fault fires.
+	Delay time.Duration
+	// AllocProb is the probability that an Alloc call panics (simulating
+	// a failed scratch allocation).
+	AllocProb float64
+	// Seed seeds the deterministic fault stream; 0 keeps the current
+	// stream position.
+	Seed uint64
+}
+
+var (
+	enabled     atomic.Bool
+	panicThresh atomic.Uint64
+	delayThresh atomic.Uint64
+	allocThresh atomic.Uint64
+	delayNanos  atomic.Int64
+	rngState    atomic.Uint64
+)
+
+func init() {
+	if s := os.Getenv("RECMAT_FAULTS"); s != "" {
+		c, err := Parse(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring RECMAT_FAULTS=%q: %v\n", s, err)
+			return
+		}
+		Configure(c)
+	}
+}
+
+// thresh maps a probability to a uint64 threshold compared against the
+// raw RNG output, avoiding float work on the hook fast path.
+func thresh(p float64) uint64 {
+	if p <= 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(p * float64(math.MaxUint64))
+}
+
+// Configure enables injection with the given probabilities. It may be
+// called at any time, including while hooks are firing.
+func Configure(c Config) {
+	panicThresh.Store(thresh(c.PanicProb))
+	delayThresh.Store(thresh(c.DelayProb))
+	allocThresh.Store(thresh(c.AllocProb))
+	delayNanos.Store(int64(c.Delay))
+	if c.Seed != 0 {
+		rngState.Store(c.Seed)
+	}
+	enabled.Store(c.PanicProb > 0 || c.DelayProb > 0 || c.AllocProb > 0)
+}
+
+// Disable turns all hooks off.
+func Disable() { Configure(Config{}) }
+
+// Enabled reports whether any hook can fire.
+func Enabled() bool { return enabled.Load() }
+
+// rnd is a lock-free splitmix64 step shared by all goroutines: the
+// atomic counter advance makes the stream race-free, and a fixed Seed
+// makes the sequence of draws deterministic for a serial caller.
+func rnd() uint64 {
+	x := rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Point is a generic fault site: with the configured probabilities it
+// sleeps (delay fault), panics with a *Fault (panic fault), or — almost
+// always — does nothing. Call it at task and phase boundaries.
+func Point(site string) {
+	if !enabled.Load() {
+		return
+	}
+	if t := delayThresh.Load(); t != 0 && rnd() <= t {
+		time.Sleep(time.Duration(delayNanos.Load()))
+	}
+	if t := panicThresh.Load(); t != 0 && rnd() <= t {
+		panic(&Fault{Site: site, Kind: "panic"})
+	}
+}
+
+// Alloc is an allocation fault site: with probability AllocProb it
+// panics with a *Fault of kind "alloc", simulating an allocation
+// failure at the call site. Call it immediately before allocating
+// scratch storage.
+func Alloc(site string) {
+	if !enabled.Load() {
+		return
+	}
+	if t := allocThresh.Load(); t != 0 && rnd() <= t {
+		panic(&Fault{Site: site, Kind: "alloc"})
+	}
+}
+
+// Parse decodes the RECMAT_FAULTS syntax: comma-separated key=value
+// pairs with keys panic, alloc, delay (probability, optionally
+// "/duration"), and seed.
+func Parse(s string) (Config, error) {
+	var c Config
+	c.Delay = 100 * time.Microsecond
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: %q is not key=value", part)
+		}
+		switch key {
+		case "panic":
+			if _, err := fmt.Sscanf(val, "%g", &c.PanicProb); err != nil {
+				return Config{}, fmt.Errorf("faultinject: bad panic probability %q", val)
+			}
+		case "alloc":
+			if _, err := fmt.Sscanf(val, "%g", &c.AllocProb); err != nil {
+				return Config{}, fmt.Errorf("faultinject: bad alloc probability %q", val)
+			}
+		case "delay":
+			prob, dur, hasDur := strings.Cut(val, "/")
+			if _, err := fmt.Sscanf(prob, "%g", &c.DelayProb); err != nil {
+				return Config{}, fmt.Errorf("faultinject: bad delay probability %q", prob)
+			}
+			if hasDur {
+				d, err := time.ParseDuration(dur)
+				if err != nil {
+					return Config{}, fmt.Errorf("faultinject: bad delay duration %q: %v", dur, err)
+				}
+				c.Delay = d
+			}
+		case "seed":
+			if _, err := fmt.Sscanf(val, "%d", &c.Seed); err != nil {
+				return Config{}, fmt.Errorf("faultinject: bad seed %q", val)
+			}
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown key %q", key)
+		}
+	}
+	return c, nil
+}

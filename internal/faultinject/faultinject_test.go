@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledHooksAreNoops(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	// Must not panic.
+	Point("test.site")
+	Alloc("test.site")
+}
+
+func TestCertainPanicFires(t *testing.T) {
+	Configure(Config{PanicProb: 1, Seed: 1})
+	defer Disable()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PanicProb=1 did not panic")
+		}
+		f, ok := r.(*Fault)
+		if !ok {
+			t.Fatalf("panic value %T, want *Fault", r)
+		}
+		if f.Site != "test.point" || f.Kind != "panic" {
+			t.Fatalf("fault = %+v", f)
+		}
+		var asErr *Fault
+		if !errors.As(f, &asErr) {
+			t.Fatal("*Fault is not usable as an error")
+		}
+	}()
+	Point("test.point")
+}
+
+func TestCertainAllocFires(t *testing.T) {
+	Configure(Config{AllocProb: 1, Seed: 2})
+	defer Disable()
+	defer func() {
+		f, ok := recover().(*Fault)
+		if !ok || f.Kind != "alloc" || f.Site != "test.alloc" {
+			t.Fatalf("recover = %v, want alloc fault at test.alloc", f)
+		}
+	}()
+	Alloc("test.alloc")
+}
+
+func TestZeroProbabilityNeverFires(t *testing.T) {
+	Configure(Config{PanicProb: 0, AllocProb: 0, DelayProb: 1, Delay: 0, Seed: 3})
+	defer Disable()
+	for i := 0; i < 1000; i++ {
+		Point("never") // delay of 0 ns; must never panic
+		Alloc("never")
+	}
+}
+
+func TestSeededStreamIsDeterministic(t *testing.T) {
+	run := func() (fired int) {
+		Configure(Config{PanicProb: 0.3, Seed: 42})
+		defer Disable()
+		for i := 0; i < 200; i++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						fired++
+					}
+				}()
+				Point("det")
+			}()
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced %d then %d faults", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("p=0.3 over 200 draws fired %d times; stream looks degenerate", a)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	c, err := Parse("panic=0.02,alloc=0.05,delay=0.01/200us,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PanicProb != 0.02 || c.AllocProb != 0.05 || c.DelayProb != 0.01 {
+		t.Fatalf("probabilities wrong: %+v", c)
+	}
+	if c.Delay != 200*time.Microsecond {
+		t.Fatalf("delay = %v, want 200µs", c.Delay)
+	}
+	if c.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", c.Seed)
+	}
+}
+
+func TestParseDefaultsAndPartials(t *testing.T) {
+	c, err := Parse("delay=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 100*time.Microsecond {
+		t.Fatalf("default delay = %v, want 100µs", c.Delay)
+	}
+	if c.DelayProb != 0.5 || c.PanicProb != 0 {
+		t.Fatalf("config = %+v", c)
+	}
+	if c, err := Parse(""); err != nil || c.PanicProb != 0 {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"panic",           // not key=value
+		"panic=x",         // bad probability
+		"alloc=y",         // bad probability
+		"delay=0.1/zebra", // bad duration
+		"seed=abc",        // bad seed
+		"frobnicate=1",    // unknown key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

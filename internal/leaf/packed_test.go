@@ -66,10 +66,19 @@ func TestPackedKernelsAllocFree(t *testing.T) {
 	C := matrix.Random(n, n, rng)
 	for _, name := range []string{"packed4x4", "packed8x4"} {
 		kern, _ := Get(name)
-		kern(n, n, n, A.Data, A.Stride, B.Data, B.Stride, C.Data, C.Stride)
-		avg := testing.AllocsPerRun(20, func() {
+		// The pooled path keeps its scratch in a sync.Pool, which any GC
+		// may legitimately empty between the warm-up call and the
+		// measurement (and the race detector plus neighboring packages
+		// make that likely under `go test -race ./...`). Re-warm and
+		// retry a few times: a real leak fails every attempt, a pool
+		// eviction only the unlucky ones.
+		avg := 1.0
+		for attempt := 0; attempt < 5 && avg >= 1; attempt++ {
 			kern(n, n, n, A.Data, A.Stride, B.Data, B.Stride, C.Data, C.Stride)
-		})
+			avg = testing.AllocsPerRun(20, func() {
+				kern(n, n, n, A.Data, A.Stride, B.Data, B.Stride, C.Data, C.Stride)
+			})
+		}
 		if avg >= 1 {
 			t.Errorf("%s (pooled): %.1f allocs/op in steady state, want 0", name, avg)
 		}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPoolClosed is returned by Run/RunCtx on a pool that has been
+// closed. It is a sentinel: test with errors.Is.
+var ErrPoolClosed = errors.New("sched: pool is closed")
+
+// PanicError is one recovered task panic. The stack is captured with
+// debug.Stack() on the worker that recovered the panic, so it shows the
+// frames of the failing task, not of the caller that observes the error.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if len(e.Stack) == 0 {
+		return fmt.Sprintf("sched: task panicked: %v", e.Value)
+	}
+	return fmt.Sprintf("sched: task panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes a panic value that is itself an error, so errors.Is and
+// errors.As reach through an injected or propagated error value.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// TaskError aggregates every panic recovered during one run or at one
+// sync point — not just the first. It unwraps to the individual
+// PanicErrors in errors.Join style, so errors.Is/As traverse all of
+// them.
+type TaskError struct {
+	Panics []*PanicError
+}
+
+func (e *TaskError) Error() string {
+	switch len(e.Panics) {
+	case 0:
+		return "sched: task error with no recorded panics"
+	case 1:
+		return e.Panics[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched: %d tasks panicked:", len(e.Panics))
+	for i, p := range e.Panics {
+		fmt.Fprintf(&b, "\n[task panic %d/%d] %s", i+1, len(e.Panics), p.Error())
+	}
+	return b.String()
+}
+
+// Unwrap returns the individual panics as errors (errors.Join-style
+// multi-error unwrapping).
+func (e *TaskError) Unwrap() []error {
+	errs := make([]error, len(e.Panics))
+	for i, p := range e.Panics {
+		errs[i] = p
+	}
+	return errs
+}

@@ -15,15 +15,26 @@
 //
 // Like Cilk, the runtime propagates exceptions (panics) from spawned
 // tasks to their sync point, and the same code runs unchanged on one
-// worker for serial measurements.
+// worker for serial measurements. Unlike the original Cilk stand-in,
+// failures are part of the contract: every panic recovered in a task is
+// wrapped (with the worker-side stack) into a TaskError that Run
+// returns as an ordinary error, and RunCtx supports cooperative
+// cancellation — workers check the run's cancellation state between
+// tasks and at every spawn point, so a cancelled run drains within a
+// bounded latency instead of finishing its full task graph.
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Pool is a fixed set of worker goroutines executing fork–join task
@@ -91,17 +102,81 @@ func newTask(fn func(*Ctx), j *join, ctx *Ctx) *task {
 	return t
 }
 
-// join is the synchronization point of one Parallel call.
+// join is the synchronization point of one Parallel call or one root
+// Run. A root join carries a completion channel (donec) closed by the
+// worker that retires the last child, so the caller blocks on a channel
+// instead of burning a busy-polling waiter goroutine; Parallel joins
+// leave donec nil and sync through the help-first loop, which is itself
+// a worker.
 type join struct {
 	pending atomic.Int64
+	donec   chan struct{}
 	panicMu sync.Mutex
-	panics  []any
+	panics  []*PanicError
 }
 
-func (j *join) recordPanic(v any) {
+// recordPanic files one recovered panic. A re-raised TaskError (the
+// aggregate a Parallel sync point throws upward) is flattened so every
+// leaf panic keeps its original worker-side stack and sibling panics
+// are never collapsed to the first one.
+func (j *join) recordPanic(v any, stack []byte) {
 	j.panicMu.Lock()
-	j.panics = append(j.panics, v)
+	switch e := v.(type) {
+	case *TaskError:
+		j.panics = append(j.panics, e.Panics...)
+	case *PanicError:
+		j.panics = append(j.panics, e)
+	default:
+		j.panics = append(j.panics, &PanicError{Value: v, Stack: stack})
+	}
 	j.panicMu.Unlock()
+}
+
+// finish retires one child; the last one out closes the completion
+// channel (root joins only).
+func (j *join) finish() {
+	if j.pending.Add(-1) == 0 && j.donec != nil {
+		close(j.donec)
+	}
+}
+
+// taskErr converts the recorded panics into an error, or nil. Only call
+// after pending has reached zero (no more writers).
+func (j *join) taskErr() error {
+	if len(j.panics) == 0 {
+		return nil
+	}
+	return &TaskError{Panics: j.panics}
+}
+
+// runState is shared by every frame of one Run/RunCtx invocation. It is
+// the cancellation generation of that run: workers consult it before
+// executing each task and algorithms poll it at recursion and spawn
+// points through Ctx.Cancelled.
+type runState struct {
+	cancelled atomic.Bool
+	// done is ctx.Done() of the run's context (nil for Background), so
+	// workers observe cancellation without waiting for the Run caller to
+	// notice it first.
+	done <-chan struct{}
+}
+
+func (rs *runState) isCancelled() bool {
+	if rs == nil {
+		return false
+	}
+	if rs.cancelled.Load() {
+		return true
+	}
+	if rs.done != nil {
+		select {
+		case <-rs.done:
+			rs.cancelled.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 type worker struct {
@@ -122,6 +197,7 @@ type worker struct {
 type Ctx struct {
 	w    *worker
 	pool *Pool
+	rs   *runState
 	// Work is the total work (in caller-chosen units, e.g. flops)
 	// accounted in this frame and its completed children.
 	Work float64
@@ -155,39 +231,75 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.workers) }
 
-// Close shuts the pool down. It must not be called concurrently with Run.
+// Close shuts the pool down. It is idempotent and safe to call
+// concurrently: every caller blocks until the workers have exited. It
+// must not be called concurrently with Run.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.done)
-		p.wg.Wait()
 	}
+	p.wg.Wait()
 }
 
+// Closed reports whether the pool has been closed.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
 // Run executes fn on the pool and blocks until it (and everything it
-// spawned) completes. It returns the accounted work and span of the run.
-// A panic in any task is re-raised in the caller.
-func (p *Pool) Run(fn func(*Ctx)) (work, span float64) {
+// spawned) completes. It returns the accounted work and span of the
+// run. Panics in any task are recovered on the worker, aggregated, and
+// returned as a *TaskError; a closed pool yields ErrPoolClosed. Run
+// never panics and never re-raises task panics.
+func (p *Pool) Run(fn func(*Ctx)) (work, span float64, err error) {
+	return p.RunCtx(context.Background(), fn)
+}
+
+// RunCtx is Run with cooperative cancellation. When ctx is cancelled,
+// the run's cancellation state flips: queued tasks of this run are
+// retired without executing, spawn points stop spawning, and
+// instrumented algorithms observe Ctx.Cancelled at their recursion
+// points — so RunCtx returns within a bounded latency (roughly one leaf
+// task) instead of finishing the full task graph. The returned error
+// wraps ctx's cause (errors.Is(err, ctx.Err()) holds) joined with any
+// panics that occurred before the abort. Work and span reflect only
+// what actually executed.
+//
+// The caller blocks on the root join's completion channel; no waiter
+// goroutine is spawned, so nothing outlives a panicking or cancelled
+// run.
+func (p *Pool) RunCtx(ctx context.Context, fn func(*Ctx)) (work, span float64, err error) {
 	if p.closed.Load() {
-		panic("sched: Run on closed pool")
+		return 0, 0, ErrPoolClosed
 	}
-	j := &join{}
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, 0, fmt.Errorf("sched: run not started: %w", context.Cause(ctx))
+	}
+	rs := &runState{done: ctx.Done()}
+	j := &join{donec: make(chan struct{})}
 	j.pending.Store(1)
-	ctx := &Ctx{pool: p}
-	t := newTask(fn, j, ctx)
-	finished := make(chan struct{})
-	go func() {
-		// Waiter goroutine: cheap poll is fine since Run is coarse.
-		for j.pending.Load() != 0 {
-			time.Sleep(20 * time.Microsecond)
-		}
-		close(finished)
-	}()
-	p.inject <- t
-	<-finished
-	if len(j.panics) > 0 {
-		panic(j.panics[0])
+	c := &Ctx{pool: p, rs: rs}
+	t := newTask(fn, j, c)
+	select {
+	case p.inject <- t:
+	case <-ctx.Done():
+		t.fn, t.join, t.ctx = nil, nil, nil
+		taskPool.Put(t)
+		return 0, 0, fmt.Errorf("sched: run not started: %w", context.Cause(ctx))
 	}
-	return ctx.Work, ctx.Span
+	select {
+	case <-j.donec:
+	case <-ctx.Done():
+		rs.cancelled.Store(true)
+		// Cooperative abort: workers retire the remaining tasks of this
+		// run without executing them, so this drains quickly.
+		<-j.donec
+	}
+	work, span = c.Work, c.Span
+	terr := j.taskErr()
+	if rs.cancelled.Load() {
+		cancelErr := fmt.Errorf("sched: run cancelled: %w", context.Cause(ctx))
+		return work, span, errors.Join(cancelErr, terr)
+	}
+	return work, span, terr
 }
 
 // push adds a task to the owner's end of the deque.
@@ -259,24 +371,30 @@ func (w *worker) findTask() *task {
 }
 
 // run executes one task, binding its context to this worker, recording
-// panics into the task's join, and signalling completion. The task
-// header is recycled before the join is released: once pending drops the
-// parent may return, but the task pointer itself is no longer referenced
-// by anyone (it has already left every deque).
+// panics (with the worker-side stack) into the task's join, and
+// signalling completion. Tasks belonging to a cancelled run are retired
+// without executing — the between-tasks cancellation check that bounds
+// a cancelled run's drain latency. The task header is recycled before
+// the join is released: once pending drops the parent may return, but
+// the task pointer itself is no longer referenced by anyone (it has
+// already left every deque).
 func (w *worker) run(t *task) {
 	t.ctx.w = w
 	j := t.join
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				j.recordPanic(r)
-			}
+	if !t.ctx.rs.isCancelled() {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					j.recordPanic(r, debug.Stack())
+				}
+			}()
+			faultinject.Point("sched.task")
+			t.fn(t.ctx)
 		}()
-		t.fn(t.ctx)
-	}()
+	}
 	t.fn, t.join, t.ctx = nil, nil, nil
 	taskPool.Put(t)
-	j.pending.Add(-1)
+	j.finish()
 }
 
 // loop is the worker main loop: execute available work, back off when
@@ -334,26 +452,39 @@ func (c *Ctx) Account(w float64) {
 	c.Span += w
 }
 
+// Cancelled reports whether the enclosing run has been cancelled. It is
+// a cheap poll (one atomic load, plus a non-blocking channel check the
+// first time cancellation is observed) intended for algorithms to call
+// at every recursion level, which bounds a cancelled run's latency to
+// roughly one leaf task. A Ctx outside any run is never cancelled.
+func (c *Ctx) Cancelled() bool { return c.rs.isCancelled() }
+
 // Parallel runs the given functions as parallel children of this frame
 // and returns when all of them have completed (the spawn/sync idiom of
 // Cilk). The first function runs inline on the current worker; the rest
-// are pushed onto its deque where idle workers can steal them. Panics in
-// any child are re-raised here after all children finish. Children's
-// work sums into this frame; the maximum child span extends this frame's
-// span.
+// are pushed onto its deque where idle workers can steal them. If any
+// children panicked, Parallel re-raises a single aggregated *TaskError
+// after all of them finish; the panic propagates to the enclosing sync
+// point, where it is flattened into that join's aggregate, so every
+// sibling panic (with its worker-side stack) survives to the root.
+// Children's work sums into this frame; the maximum child span extends
+// this frame's span.
+//
+// Parallel is also a spawn-point cancellation check: on a cancelled run
+// it returns immediately without spawning or running anything.
 func (c *Ctx) Parallel(fns ...func(*Ctx)) {
-	if len(fns) == 0 {
+	if len(fns) == 0 || c.Cancelled() {
 		return
 	}
 	j := &join{}
 	j.pending.Store(int64(len(fns)))
 	children := make([]*Ctx, len(fns))
 	for i := len(fns) - 1; i >= 1; i-- {
-		children[i] = &Ctx{pool: c.pool}
+		children[i] = &Ctx{pool: c.pool, rs: c.rs}
 		c.w.push(newTask(fns[i], j, children[i]))
 	}
 	// Run the first child inline through the same panic-capturing path.
-	children[0] = &Ctx{pool: c.pool}
+	children[0] = &Ctx{pool: c.pool, rs: c.rs}
 	inline := newTask(fns[0], j, children[0])
 	c.pool.inline.Add(1)
 	c.w.run(inline)
@@ -382,8 +513,8 @@ func (c *Ctx) Parallel(fns ...func(*Ctx)) {
 		}
 	}
 	c.Span += maxSpan
-	if len(j.panics) > 0 {
-		panic(j.panics[0])
+	if err := j.taskErr(); err != nil {
+		panic(err)
 	}
 }
 
@@ -391,7 +522,7 @@ func (c *Ctx) Parallel(fns ...func(*Ctx)) {
 // work and span both accumulate into the current frame. It exists so
 // that instrumented code can delimit frames uniformly.
 func (c *Ctx) Serial(fn func(*Ctx)) {
-	child := &Ctx{pool: c.pool, w: c.w}
+	child := &Ctx{pool: c.pool, w: c.w, rs: c.rs}
 	fn(child)
 	c.Work += child.Work
 	c.Span += child.Span

@@ -1,10 +1,15 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 func TestRunExecutes(t *testing.T) {
@@ -139,51 +144,129 @@ func TestSerialPoolCorrectness(t *testing.T) {
 func TestPanicPropagation(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
-	defer func() {
-		if r := recover(); r != "boom" {
-			t.Fatalf("recovered %v, want boom", r)
-		}
-	}()
-	p.Run(func(c *Ctx) {
+	_, _, err := p.Run(func(c *Ctx) {
 		c.Parallel(
 			func(c *Ctx) {},
 			func(c *Ctx) { panic("boom") },
 			func(c *Ctx) {},
 		)
 	})
-	t.Fatal("panic did not propagate")
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("Run returned %v, want *TaskError", err)
+	}
+	if len(te.Panics) != 1 || te.Panics[0].Value != "boom" {
+		t.Fatalf("panics = %v, want one with value boom", te.Panics)
+	}
+	if len(te.Panics[0].Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
 }
 
 func TestPanicInNestedChild(t *testing.T) {
 	p := NewPool(2)
 	defer p.Close()
-	defer func() {
-		if r := recover(); r != "deep" {
-			t.Fatalf("recovered %v, want deep", r)
-		}
-	}()
-	p.Run(func(c *Ctx) {
+	_, _, err := p.Run(func(c *Ctx) {
 		c.Parallel(func(c *Ctx) {
 			c.Parallel(func(c *Ctx) {
 				c.Parallel(func(c *Ctx) { panic("deep") })
 			})
 		})
 	})
-	t.Fatal("nested panic did not propagate")
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("Run returned %v, want *TaskError", err)
+	}
+	if len(te.Panics) != 1 || te.Panics[0].Value != "deep" {
+		t.Fatalf("panics = %v, want one with value deep", te.Panics)
+	}
+}
+
+func TestAllSiblingPanicsAggregated(t *testing.T) {
+	// Every panicking sibling must be reported, not just the first.
+	p := NewPool(4)
+	defer p.Close()
+	_, _, err := p.Run(func(c *Ctx) {
+		c.Parallel(
+			func(c *Ctx) { panic("one") },
+			func(c *Ctx) {},
+			func(c *Ctx) { panic("two") },
+			func(c *Ctx) { panic("three") },
+		)
+	})
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("Run returned %v, want *TaskError", err)
+	}
+	if len(te.Panics) != 3 {
+		t.Fatalf("got %d panics, want 3: %v", len(te.Panics), te)
+	}
+	seen := map[any]bool{}
+	for _, pe := range te.Panics {
+		seen[pe.Value] = true
+		if len(pe.Stack) == 0 {
+			t.Errorf("panic %v missing stack", pe.Value)
+		}
+	}
+	for _, want := range []string{"one", "two", "three"} {
+		if !seen[want] {
+			t.Errorf("panic %q not aggregated", want)
+		}
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValue(t *testing.T) {
+	// A task that panics with an error value must stay reachable through
+	// errors.Is/errors.As on the returned aggregate.
+	p := NewPool(2)
+	defer p.Close()
+	sentinel := errors.New("sentinel failure")
+	_, _, err := p.Run(func(c *Ctx) {
+		c.Parallel(func(c *Ctx) { panic(sentinel) })
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is cannot reach panic value through %v", err)
+	}
 }
 
 func TestPoolSurvivesPanic(t *testing.T) {
-	// After a panicking run, the pool must still execute new work.
+	// After a failed run, the pool must still execute new work.
 	p := NewPool(2)
 	defer p.Close()
-	func() {
-		defer func() { recover() }()
-		p.Run(func(c *Ctx) { panic("first") })
-	}()
+	if _, _, err := p.Run(func(c *Ctx) { panic("first") }); err == nil {
+		t.Fatal("panicking run reported no error")
+	}
 	var ok atomic.Bool
-	p.Run(func(c *Ctx) { ok.Store(true) })
+	if _, _, err := p.Run(func(c *Ctx) { ok.Store(true) }); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
 	if !ok.Load() {
 		t.Fatal("pool unusable after panic")
+	}
+}
+
+func TestNoGoroutineLeakAfterRuns(t *testing.T) {
+	// Neither normal nor panicking runs may leave goroutines behind (the
+	// busy-poll waiter of the old implementation showed up here).
+	p := NewPool(4)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		p.Run(func(c *Ctx) {
+			c.Parallel(func(c *Ctx) {}, func(c *Ctx) { panic("x") })
+		})
+	}
+	// Workers are still parked; only transient goroutines would leak.
+	time.Sleep(10 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d across runs", before, after)
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before-4+2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -192,7 +275,7 @@ func TestWorkSpanAccounting(t *testing.T) {
 	defer p.Close()
 	// Frame: 10 units serial, then 4 parallel children of 5 units each,
 	// then 3 units serial. Work = 10+20+3 = 33; span = 10+5+3 = 18.
-	work, span := p.Run(func(c *Ctx) {
+	work, span, _ := p.Run(func(c *Ctx) {
 		c.Account(10)
 		ch := func(c *Ctx) { c.Account(5) }
 		c.Parallel(ch, ch, ch, ch)
@@ -221,7 +304,7 @@ func TestWorkSpanNested(t *testing.T) {
 			c.Parallel(spawn(depth-1), spawn(depth-1))
 		}
 	}
-	work, span := p.Run(spawn(3))
+	work, span, _ := p.Run(spawn(3))
 	if work != 8 || span != 1 {
 		t.Errorf("work,span = %g,%g; want 8,1", work, span)
 	}
@@ -233,7 +316,7 @@ func TestWorkSpanNested(t *testing.T) {
 func TestSerialFrame(t *testing.T) {
 	p := NewPool(2)
 	defer p.Close()
-	work, span := p.Run(func(c *Ctx) {
+	work, span, _ := p.Run(func(c *Ctx) {
 		c.Serial(func(c *Ctx) { c.Account(4) })
 		c.Serial(func(c *Ctx) { c.Account(6) })
 	})
@@ -267,15 +350,120 @@ func TestCloseIdempotent(t *testing.T) {
 	p.Close() // must not panic or hang
 }
 
+func TestCloseConcurrentIdempotent(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	if !p.Closed() {
+		t.Fatal("pool not closed after concurrent Close")
+	}
+}
+
 func TestRunAfterCloseRejected(t *testing.T) {
 	p := NewPool(1)
 	p.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Run on closed pool should panic")
-		}
+	var ran atomic.Bool
+	_, _, err := p.Run(func(c *Ctx) { ran.Store(true) })
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Run on closed pool returned %v, want ErrPoolClosed", err)
+	}
+	if ran.Load() {
+		t.Fatal("task ran on closed pool")
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	_, _, err := p.RunCtx(ctx, func(c *Ctx) { ran.Store(true) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx returned %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("task ran despite pre-cancelled context")
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var after atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := p.RunCtx(ctx, func(c *Ctx) {
+			fns := make([]func(*Ctx), 64)
+			for i := range fns {
+				i := i
+				fns[i] = func(c *Ctx) {
+					if i == 0 {
+						close(started)
+						<-ctx.Done()
+						return
+					}
+					// Tasks injected after cancellation must be skipped;
+					// count the ones that still run.
+					time.Sleep(time.Millisecond)
+					if ctx.Err() != nil && !c.Cancelled() {
+						after.Add(1)
+					}
+				}
+			}
+			c.Parallel(fns...)
+		})
+		done <- err
 	}()
-	p.Run(func(c *Ctx) {})
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled RunCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d tasks observed cancellation without Cancelled()", after.Load())
+	}
+	// The pool stays usable after a cancelled run.
+	var ok atomic.Bool
+	if _, _, err := p.Run(func(c *Ctx) { ok.Store(true) }); err != nil || !ok.Load() {
+		t.Fatalf("pool unusable after cancelled run: %v", err)
+	}
+}
+
+func TestCancelledRunReportsPanics(t *testing.T) {
+	// A run that both panics and is cancelled must surface both: the
+	// context error via errors.Is and the panics via errors.As.
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err := p.RunCtx(ctx, func(c *Ctx) {
+		c.Parallel(func(c *Ctx) {
+			cancel()
+			panic("mid-cancel boom")
+		})
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled inside", err)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || len(te.Panics) != 1 {
+		t.Fatalf("err = %v, want wrapped *TaskError with the panic", err)
+	}
 }
 
 func TestManySequentialRuns(t *testing.T) {
@@ -423,4 +611,43 @@ func BenchmarkParallelSpawn(b *testing.B) {
 			)
 		}
 	})
+}
+
+func TestStressPoolFaultInjection(t *testing.T) {
+	// Under probabilistic task faults the pool must never let a panic
+	// escape Run, must report every injected fault as a typed error,
+	// and must stay fully usable afterwards.
+	if !faultinject.Enabled() {
+		faultinject.Configure(faultinject.Config{
+			PanicProb: 0.01, DelayProb: 0.01, Delay: 20 * time.Microsecond, Seed: 11,
+		})
+		defer faultinject.Disable()
+	}
+	p := NewPool(4)
+	defer p.Close()
+	var spawn func(depth int) func(*Ctx)
+	spawn = func(depth int) func(*Ctx) {
+		return func(c *Ctx) {
+			if depth == 0 {
+				return
+			}
+			c.Parallel(spawn(depth-1), spawn(depth-1), spawn(depth-1))
+		}
+	}
+	failures := 0
+	for i := 0; i < 50; i++ {
+		if _, _, err := p.Run(spawn(4)); err != nil {
+			failures++
+			var fault *faultinject.Fault
+			if !errors.As(err, &fault) {
+				t.Fatalf("iter %d: error %v does not unwrap to injected fault", i, err)
+			}
+		}
+	}
+	t.Logf("pool fault stress: %d/50 runs failed (injected)", failures)
+	faultinject.Disable()
+	var ok atomic.Bool
+	if _, _, err := p.Run(func(c *Ctx) { ok.Store(true) }); err != nil || !ok.Load() {
+		t.Fatalf("pool unusable after fault stress: %v", err)
+	}
 }

@@ -1,6 +1,7 @@
 package recmat
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -44,7 +45,9 @@ func (e *Engine) Pack(A *Matrix, opts *Options) (*Packed, error) {
 		d, tr, tc = ch.D, ch.Tiles[0], ch.Tiles[1]
 	}
 	t := core.NewTiled(o.Curve, d, tr, tc, A.Rows, A.Cols)
-	t.Pack(e.pool, A, false, 1)
+	if err := t.Pack(context.Background(), e.pool, A, false, 1); err != nil {
+		return nil, err
+	}
 	return &Packed{t: t, opts: o}, nil
 }
 
@@ -55,11 +58,14 @@ func (p *Packed) Cols() int { return p.t.Cols }
 // Layout returns the packed layout.
 func (p *Packed) Layout() Layout { return p.t.Curve }
 
-// Unpack converts back to a column-major matrix.
-func (p *Packed) Unpack(e *Engine) *Matrix {
+// Unpack converts back to a column-major matrix. It fails (rather than
+// panicking) when the engine has been closed.
+func (p *Packed) Unpack(e *Engine) (*Matrix, error) {
 	d := NewMatrix(p.t.Rows, p.t.Cols)
-	p.t.Unpack(e.pool, d)
-	return d
+	if err := p.t.Unpack(context.Background(), e.pool, d); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // At reads one element through the layout function (slow; for spot
@@ -96,7 +102,15 @@ func conformable(a, b *Packed) error {
 // conforming tile shapes (pack both inputs with the same ForceTile, or
 // pack square same-size matrices, to guarantee this).
 func (e *Engine) MulPacked(C, A, B *Packed, opts *Options) (*Report, error) {
+	return e.MulPackedContext(context.Background(), C, A, B, opts)
+}
+
+// MulPackedContext is MulPacked with cooperative cancellation. On
+// cancellation or error the packed C must be considered corrupt: the
+// multiplication accumulates into it in place, so partial quadrant
+// products may already be present.
+func (e *Engine) MulPackedContext(ctx context.Context, C, A, B *Packed, opts *Options) (*Report, error) {
 	o := opts.coreOptions()
 	o.Curve = C.t.Curve
-	return core.MulTiled(e.pool, o, C.t, A.t, B.t)
+	return core.MulTiledCtx(ctx, e.pool, o, C.t, A.t, B.t)
 }

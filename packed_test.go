@@ -36,7 +36,10 @@ func TestPackedMulMatchesMul(t *testing.T) {
 		if rep.ConvertIn != 0 || rep.ConvertOut != 0 {
 			t.Errorf("%v: packed multiply reported conversion time", lo)
 		}
-		got := pc.Unpack(eng)
+		got, err := pc.Unpack(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !Equal(got, want, 1e-10) {
 			t.Errorf("%v: packed multiply wrong (max diff %g)", lo, MaxAbsDiff(got, want))
 		}
@@ -64,7 +67,10 @@ func TestPackedChainAmortizesConversion(t *testing.T) {
 	if _, err := eng.MulPacked(p4, p2, p2, opts); err != nil {
 		t.Fatal(err)
 	}
-	got := p4.Unpack(eng)
+	got, err := p4.Unpack(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Reference A^4.
 	a2 := NewMatrix(n, n)

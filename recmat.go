@@ -32,12 +32,14 @@
 package recmat
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/leaf"
 	"repro/internal/matrix"
+	"repro/internal/sched"
 	"repro/internal/tile"
 )
 
@@ -177,6 +179,27 @@ type Options struct {
 	FastCutoff int
 	// DisableSplit turns off wide/lean submatrix decomposition.
 	DisableSplit bool
+	// MemBudget, when positive, is an upper bound in bytes on the
+	// workspace a multiplication may allocate (packed operands plus
+	// algorithm temporaries plus kernel scratch). Before allocating
+	// anything the engine estimates the footprint of the requested
+	// configuration and, if it exceeds the budget, degrades along a
+	// fixed ladder — fast parallel algorithm → low-memory serial
+	// Strassen → standard parallel → standard serial — taking the first
+	// rung that fits. Each degradation step is recorded in
+	// Report.Degraded; if no rung fits the call fails with ErrMemBudget
+	// before touching C. Zero means unlimited.
+	MemBudget int64
+	// MaxResidualGrowth, when positive, bounds the numerical error the
+	// fast algorithms (Strassen, Winograd) are allowed to introduce,
+	// measured as residual growth relative to the standard algorithm's
+	// eps·k·|A|·|B| bound on a small probe block sampled from the
+	// operands. If the probe exceeds the bound the engine degrades to
+	// the standard algorithm and records the decision in
+	// Report.Degraded. The standard algorithm measures ≈1 on this
+	// scale; useful bounds are typically 8–100. Zero disables the
+	// check.
+	MaxResidualGrowth float64
 }
 
 func (o *Options) coreOptions() core.Options {
@@ -184,23 +207,55 @@ func (o *Options) coreOptions() core.Options {
 		return core.Options{}
 	}
 	return core.Options{
-		Curve:        o.Layout,
-		Alg:          o.Algorithm,
-		Kernel:       o.Kernel,
-		KernelName:   o.KernelName,
-		Tile:         o.Tile,
-		ForceTile:    o.ForceTile,
-		SerialCutoff: o.SerialCutoff,
-		FastCutoff:   o.FastCutoff,
-		DisableSplit: o.DisableSplit,
+		Curve:             o.Layout,
+		Alg:               o.Algorithm,
+		Kernel:            o.Kernel,
+		KernelName:        o.KernelName,
+		Tile:              o.Tile,
+		ForceTile:         o.ForceTile,
+		SerialCutoff:      o.SerialCutoff,
+		FastCutoff:        o.FastCutoff,
+		DisableSplit:      o.DisableSplit,
+		MemBudget:         o.MemBudget,
+		MaxResidualGrowth: o.MaxResidualGrowth,
 	}
 }
 
 // Report describes what a multiplication did: separate conversion and
 // compute wall times (the honest accounting of Section 4), accounted
 // work/span of the task DAG (Work/Span estimates available parallelism,
-// as Cilk's critical-path tracking did), and the tiling chosen.
+// as Cilk's critical-path tracking did), the tiling chosen, and — when
+// admission control intervened — the algorithm actually run and the
+// degradation decisions that led to it.
 type Report = core.Stats
+
+// Error taxonomy. Every failure a multiplication can produce is one of
+// these (or a context error), reachable through errors.Is/errors.As:
+//
+//   - ErrPoolClosed: the engine was closed before or during the call.
+//   - ErrNonFinite: alpha or beta is NaN or ±Inf.
+//   - ErrDimension: operand shapes do not conform, or the padded
+//     problem would overflow addressing limits.
+//   - ErrMemBudget: no degradation rung fits Options.MemBudget.
+//   - *TaskError: one or more worker tasks panicked; it aggregates
+//     every sibling panic as a *PanicError with the stack captured at
+//     the panicking worker.
+//   - context.Canceled / context.DeadlineExceeded: wrapped in the
+//     returned error when the context ends the run.
+var (
+	ErrPoolClosed = sched.ErrPoolClosed
+	ErrNonFinite  = core.ErrNonFinite
+	ErrDimension  = core.ErrDimension
+	ErrMemBudget  = core.ErrMemBudget
+)
+
+// TaskError aggregates the panics of a failed run; Unwrap returns the
+// individual *PanicError values (errors.Join style).
+type TaskError = sched.TaskError
+
+// PanicError is one recovered worker panic with the stack captured at
+// the panic site; Unwrap exposes the panic value when it is an error.
+type PanicError = sched.PanicError
 
 // Mul computes C = A·B with the given options (nil options = defaults).
 // It is shorthand for DGEMM(false, false, 1, A, B, 0, C, opts).
@@ -213,9 +268,19 @@ func Mul(C, A, B *Matrix, opts *Options) (*Report, error) {
 // For repeated calls, create an Engine and use its methods to amortize
 // pool start-up.
 func DGEMM(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
+	return GEMMContext(context.Background(), transA, transB, alpha, A, B, beta, C, opts)
+}
+
+// GEMMContext is DGEMM with cooperative cancellation: when ctx is
+// cancelled the run aborts within roughly one leaf-kernel latency and
+// the call returns an error wrapping ctx's cause. On cancellation C
+// holds the β-scaled input plus any fully completed output blocks —
+// never a partially written block product — and the returned error says
+// how far the computation got.
+func GEMMContext(ctx context.Context, transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
 	e := NewEngine(optWorkers(opts))
 	defer e.Close()
-	return e.DGEMM(transA, transB, alpha, A, B, beta, C, opts)
+	return e.DGEMMContext(ctx, transA, transB, alpha, A, B, beta, C, opts)
 }
 
 func optWorkers(opts *Options) int {

@@ -1,0 +1,219 @@
+package recmat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func TestEngineAfterCloseReturnsError(t *testing.T) {
+	eng := NewEngine(2)
+	eng.Close()
+	eng.Close() // idempotent
+	A := Identity(8)
+	C := NewMatrix(8, 8)
+	if _, err := eng.Mul(C, A, A, nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Mul on closed engine: err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := eng.Pack(Identity(16), &Options{Layout: ZMorton}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Pack on closed engine: err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestDGEMMRejectsNonFinite(t *testing.T) {
+	A := Identity(8)
+	C := NewMatrix(8, 8)
+	if _, err := DGEMM(false, false, math.NaN(), A, A, 0, C, nil); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+	if _, err := DGEMM(false, false, 1, A, A, math.Inf(1), C, nil); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestOptionsMemBudgetPassthrough(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(21))
+	n := 128
+	A := Random(n, n, rng)
+	B := Random(n, n, rng)
+	C := NewMatrix(n, n)
+	rep, err := eng.Mul(C, A, B, &Options{
+		Layout: ZMorton, Algorithm: Strassen, ForceTile: 16, MemBudget: 600_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) == 0 || rep.Alg == Strassen {
+		t.Fatalf("MemBudget not honored through Options: alg=%v notes=%v", rep.Alg, rep.Degraded)
+	}
+	if _, err := eng.Mul(C, A, B, &Options{
+		Layout: ZMorton, Algorithm: Strassen, ForceTile: 16, MemBudget: 100,
+	}); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("err = %v, want ErrMemBudget", err)
+	}
+}
+
+func TestOptionsResidualGrowthPassthrough(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(22))
+	n := 64
+	A := Random(n, n, rng)
+	B := Random(n, n, rng)
+	C := NewMatrix(n, n)
+	rep, err := eng.Mul(C, A, B, &Options{
+		Layout: ZMorton, Algorithm: Winograd, ForceTile: 16, MaxResidualGrowth: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alg != Standard || len(rep.Degraded) == 0 {
+		t.Fatalf("MaxResidualGrowth not honored: alg=%v notes=%v", rep.Alg, rep.Degraded)
+	}
+}
+
+func TestGEMMContextCancelLatency(t *testing.T) {
+	// The acceptance bound: cancelling a 2048³ multiply returns a
+	// wrapped context error within 250 ms and leaks no goroutines.
+	if testing.Short() {
+		t.Skip("2048³ multiply in -short mode")
+	}
+	eng := NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(23))
+	n := 2048
+	A := Random(n, n, rng)
+	B := Random(n, n, rng)
+	C := NewMatrix(n, n)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := eng.MulContext(ctx, C, A, B, &Options{Layout: ZMorton, Algorithm: Strassen})
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // well inside the multi-second compute
+	t0 := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		lat := time.Since(t0)
+		if err == nil {
+			t.Fatal("2048³ multiply finished before cancellation — cannot measure latency")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+		if lat > 250*time.Millisecond {
+			t.Fatalf("cancellation latency %v, want <= 250ms", lat)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled multiply never returned")
+	}
+
+	// No goroutines may outlive the cancelled run.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGEMMContextDeadline(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(24))
+	n := 512
+	A := Random(n, n, rng)
+	B := Random(n, n, rng)
+	C := NewMatrix(n, n)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := eng.DGEMMContext(ctx, false, false, 1, A, B, 0, C, &Options{Layout: Hilbert})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped DeadlineExceeded", err)
+	}
+}
+
+func TestGEMMContextPackageFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 64
+	A := Random(n, n, rng)
+	B := Random(n, n, rng)
+	want := NewMatrix(n, n)
+	RefGEMM(false, false, 1, A, B, 0, want)
+	C := NewMatrix(n, n)
+	if _, err := GEMMContext(context.Background(), false, false, 1, A, B, 0, C, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(C, want, 1e-10) {
+		t.Fatalf("GEMMContext wrong (max diff %g)", MaxAbsDiff(C, want))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GEMMContext(ctx, false, false, 1, A, B, 0, C, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled GEMMContext: err = %v", err)
+	}
+}
+
+func TestStressPublicAPINoEscapingPanics(t *testing.T) {
+	// Under fault injection no panic may escape any public entry point,
+	// and every failure must unwrap to the injected *Fault.
+	if !faultinject.Enabled() {
+		faultinject.Configure(faultinject.Config{
+			PanicProb: 0.01, AllocProb: 0.02, DelayProb: 0.01,
+			Delay: 50 * time.Microsecond, Seed: 7,
+		})
+		defer faultinject.Disable()
+	}
+	eng := NewEngine(4)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(26))
+	n := 96
+	A := Random(n, n, rng)
+	B := Random(n, n, rng)
+	want := NewMatrix(n, n)
+	RefGEMM(false, false, 1, A, B, 0, want)
+
+	for i := 0; i < 25; i++ {
+		C := NewMatrix(n, n)
+		opts := &Options{
+			Layout:    []Layout{ColMajor, ZMorton, Hilbert}[i%3],
+			Algorithm: []Algorithm{Standard, Strassen, Winograd}[i%3],
+			ForceTile: 16,
+		}
+		_, err := eng.Mul(C, A, B, opts)
+		if err == nil {
+			if !Equal(C, want, 1e-10) {
+				t.Fatalf("iter %d: successful run under faults is wrong", i)
+			}
+			continue
+		}
+		var fault *faultinject.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("iter %d: error does not unwrap to injected fault: %v", i, err)
+		}
+		var te *TaskError
+		if errors.As(err, &te) {
+			for _, pe := range te.Panics {
+				if len(pe.Stack) == 0 {
+					t.Fatalf("iter %d: aggregated panic missing worker stack", i)
+				}
+			}
+		}
+	}
+}
