@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench fuzz bench-json
+.PHONY: check build vet test race stress bench bench-kernel fuzz bench-json
 
 check: build vet race stress
 
@@ -24,9 +24,21 @@ RECMAT_FAULTS ?= panic=0.002,alloc=0.005,delay=0.005/50us,seed=7
 stress:
 	RECMAT_FAULTS='$(RECMAT_FAULTS)' $(GO) test -race -count=3 -run 'Stress' . ./internal/core ./internal/sched
 
+# The perf-regression gate: re-measure the standard algorithm and fail
+# if its GFLOPS fall more than 10% below the committed BENCH_3.json
+# record. n=512 keeps the gate fast; reps are high because a cold
+# process needs several reps per point before page faults and heap
+# growth stop dominating. benchdiff rescales by the recorded host
+# yardstick to cancel clock-speed drift between measurement windows;
+# on shared/bursty hosts some residual noise remains, so treat a
+# failure as "re-run, then investigate", not proof of a regression.
+bench:
+	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard
+	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -candidate /tmp/bench_head.json -alg standard -tol 0.10
+
 # The kernel acceptance benchmark: packed kernels vs the paper's
 # unrolled4 at the default tile sizes.
-bench:
+bench-kernel:
 	$(GO) test -bench 'Kernel' -benchmem ./internal/leaf
 
 fuzz:
@@ -34,4 +46,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_1.json
+	$(GO) run ./cmd/benchjson -o BENCH_3.json

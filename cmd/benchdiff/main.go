@@ -1,0 +1,124 @@
+// benchdiff compares two benchjson outputs and fails when the candidate
+// regresses against the baseline — the guard `make bench` runs so a
+// perf-focused change cannot silently slow the standard algorithm down.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_3.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
+//
+// Results are keyed on (n, algorithm, layout, kernel); only keys present
+// in both files are compared. With -alg set, the comparison is
+// restricted to that algorithm. The exit status is 1 if any compared
+// point's GFLOPS falls below baseline × (1 − tol).
+//
+// When both files carry the ref_gflops host yardstick (benchjson
+// schema 2), candidate GFLOPS are rescaled by baseline_ref/candidate_ref
+// before comparison: the yardstick moves with host clock speed exactly
+// like the benchmarked matmuls, so the rescaling cancels machine-speed
+// drift between the two measurement windows and leaves only real code
+// regressions. -noscale disables this.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type result struct {
+	N         int     `json:"n"`
+	Algorithm string  `json:"algorithm"`
+	Layout    string  `json:"layout"`
+	Kernel    string  `json:"kernel"`
+	GFLOPS    float64 `json:"gflops"`
+}
+
+type output struct {
+	Schema    int      `json:"schema"`
+	RefGFLOPS float64  `json:"ref_gflops"`
+	Results   []result `json:"results"`
+}
+
+type key struct {
+	n                         int
+	algorithm, layout, kernel string
+}
+
+func load(path string) (map[key]float64, float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var o output
+	if err := json.Unmarshal(buf, &o); err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[key]float64, len(o.Results))
+	for _, r := range o.Results {
+		m[key{r.N, r.Algorithm, r.Layout, r.Kernel}] = r.GFLOPS
+	}
+	return m, o.RefGFLOPS, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_3.json", "baseline benchjson file")
+	candidate := flag.String("candidate", "", "candidate benchjson file (required)")
+	alg := flag.String("alg", "", "restrict comparison to one algorithm (empty = all)")
+	tol := flag.Float64("tol", 0.10, "allowed fractional GFLOPS regression")
+	noscale := flag.Bool("noscale", false, "disable host-yardstick rescaling")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, baseRef, err := load(*baseline)
+	die(err)
+	cand, candRef, err := load(*candidate)
+	die(err)
+	scale := 1.0
+	if !*noscale && baseRef > 0 && candRef > 0 {
+		scale = baseRef / candRef
+		fmt.Printf("host yardstick %.3f -> %.3f GFLOPS: rescaling candidate by %.3f\n",
+			baseRef, candRef, scale)
+	}
+
+	compared, regressed := 0, 0
+	for k, bg := range base {
+		if *alg != "" && k.algorithm != *alg {
+			continue
+		}
+		cg, ok := cand[k]
+		if !ok || bg <= 0 {
+			continue
+		}
+		cg *= scale
+		compared++
+		delta := cg/bg - 1
+		mark := " "
+		if cg < bg*(1-*tol) {
+			regressed++
+			mark = "!"
+		}
+		fmt.Printf("%s n=%-5d %-9s %-11s %-10s %6.2f -> %6.2f GFLOPS (%+5.1f%%)\n",
+			mark, k.n, k.algorithm, k.layout, k.kernel, bg, cg, 100*delta)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable results (key mismatch?)")
+		os.Exit(2)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d/%d points regressed more than %.0f%%\n",
+			regressed, compared, 100**tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d points within %.0f%% of baseline\n", compared, 100**tol)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

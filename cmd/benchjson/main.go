@@ -1,17 +1,21 @@
 // benchjson measures end-to-end GFLOPS for every {algorithm, layout,
 // kernel} combination at fixed problem sizes and writes the results as
 // JSON — the machine-readable record of the repo's performance
-// trajectory (BENCH_1.json at the repo root is its committed output).
+// trajectory (BENCH_3.json at the repo root is its committed output).
 //
 // Usage:
 //
-//	benchjson [-o BENCH_1.json] [-sizes 512,1024] [-reps 2]
+//	benchjson [-o BENCH_3.json] [-sizes 512,1024] [-reps 2]
 //	          [-algs standard,strassen,winograd] [-kernels unrolled4,blocked,packed8x4,auto]
 //
 // GFLOPS are computed from 2n³ over the end-to-end time (conversion
 // included), so layouts pay for their format conversions — the honest
 // accounting the paper insists on. Compute-only GFLOPS are reported
-// alongside.
+// alongside, as are per-call heap allocation counts and the scratch
+// arena reservation (schema 2). The recursion's temporaries come from
+// the arena, so allocs_per_op measures only the per-call fixed costs
+// (packed operand buffers, scheduler bookkeeping), not a per-node
+// temp-tree churn.
 package main
 
 import (
@@ -29,10 +33,10 @@ import (
 )
 
 type result struct {
-	N         int     `json:"n"`
-	Algorithm string  `json:"algorithm"`
-	Layout    string  `json:"layout"`
-	Kernel    string  `json:"kernel"`
+	N         int    `json:"n"`
+	Algorithm string `json:"algorithm"`
+	Layout    string `json:"layout"`
+	Kernel    string `json:"kernel"`
 	// KernelRan is the kernel that actually executed; it differs from
 	// Kernel only for "auto", where it names the calibration winner.
 	KernelRan     string  `json:"kernel_ran"`
@@ -40,21 +44,66 @@ type result struct {
 	GFLOPS        float64 `json:"gflops"`
 	ComputeGFLOPS float64 `json:"compute_gflops"`
 	ConvertShare  float64 `json:"convert_share"`
+	// ArenaBytes is the scratch-arena reservation of the best rep;
+	// AllocsPerOp / AllocBytesPerOp are the whole-process heap deltas
+	// (runtime.MemStats Mallocs / TotalAlloc) around that rep's Mul call.
+	ArenaBytes      int64  `json:"arena_bytes"`
+	AllocsPerOp     uint64 `json:"allocs_per_op"`
+	AllocBytesPerOp uint64 `json:"alloc_bytes_per_op"`
 }
 
 type output struct {
-	Schema    int      `json:"schema"`
-	Generated string   `json:"generated"`
-	GoVersion string   `json:"go_version"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Workers   int      `json:"workers"`
-	Reps      int      `json:"reps"`
+	Schema    int    `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Workers   int    `json:"workers"`
+	Reps      int    `json:"reps"`
+	// RefGFLOPS is the host-speed yardstick: a fixed serial in-cache
+	// triple-loop matmul measured just before the sweep. Comparison
+	// tools (cmd/benchdiff) divide it out so that two records taken at
+	// different host clock speeds remain comparable.
+	RefGFLOPS float64  `json:"ref_gflops"`
 	Results   []result `json:"results"`
 }
 
+// refGFLOPS measures the yardstick: best of several reps of a 96³
+// serial triple loop, small enough to live in cache so the number
+// tracks CPU clock speed rather than memory.
+func refGFLOPS() float64 {
+	const n = 96
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5) * 0.5
+	}
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < 8; rep++ {
+		t0 := time.Now()
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += a[k*n+i] * b[j*n+k]
+				}
+				c[j*n+i] = s
+			}
+		}
+		if dt := time.Since(t0); dt < best {
+			best = dt
+		}
+	}
+	if c[0] < -1 { // keep the loop observable
+		fmt.Fprintln(os.Stderr, c[0])
+	}
+	return 2 * n * n * n / best.Seconds() / 1e9
+}
+
 func main() {
-	out := flag.String("o", "BENCH_1.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_3.json", "output file (- for stdout)")
 	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
 	algsFlag := flag.String("algs", "standard,strassen,winograd", "comma-separated algorithms")
 	kernelsFlag := flag.String("kernels", "unrolled4,blocked,packed8x4,auto", "comma-separated kernels (auto = autotuned)")
@@ -92,14 +141,16 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:    1,
+		Schema:    2,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		Workers:   eng.Workers(),
 		Reps:      *reps,
+		RefGFLOPS: refGFLOPS(),
 	}
+	fmt.Fprintf(os.Stderr, "host yardstick: %.3f GFLOPS (serial 96^3 in-cache)\n", o.RefGFLOPS)
 
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(*seed))
@@ -115,27 +166,36 @@ func main() {
 						opts.KernelName = kn
 					}
 					var best *recmat.Report
+					var bestAllocs, bestBytes uint64
+					var ms0, ms1 runtime.MemStats
 					for r := 0; r < *reps; r++ {
+						runtime.ReadMemStats(&ms0)
 						rep, err := eng.Mul(C, A, B, opts)
+						runtime.ReadMemStats(&ms1)
 						die(err)
 						if best == nil || rep.Total() < best.Total() {
 							best = rep
+							bestAllocs = ms1.Mallocs - ms0.Mallocs
+							bestBytes = ms1.TotalAlloc - ms0.TotalAlloc
 						}
 					}
 					r := result{
-						N:             n,
-						Algorithm:     alg.String(),
-						Layout:        lo.String(),
-						Kernel:        kn,
-						KernelRan:     best.Kernel,
-						TotalSeconds:  best.Total().Seconds(),
-						GFLOPS:        flops / best.Total().Seconds() / 1e9,
-						ComputeGFLOPS: flops / best.Compute.Seconds() / 1e9,
-						ConvertShare:  float64(best.ConvertIn+best.ConvertOut) / float64(best.Total()),
+						N:               n,
+						Algorithm:       alg.String(),
+						Layout:          lo.String(),
+						Kernel:          kn,
+						KernelRan:       best.Kernel,
+						TotalSeconds:    best.Total().Seconds(),
+						GFLOPS:          flops / best.Total().Seconds() / 1e9,
+						ComputeGFLOPS:   flops / best.Compute.Seconds() / 1e9,
+						ConvertShare:    float64(best.ConvertIn+best.ConvertOut) / float64(best.Total()),
+						ArenaBytes:      best.ArenaBytes,
+						AllocsPerOp:     bestAllocs,
+						AllocBytesPerOp: bestBytes,
 					}
 					o.Results = append(o.Results, r)
-					fmt.Fprintf(os.Stderr, "n=%-5d %-9s %-11s %-10s %6.2f GFLOPS (ran %s)\n",
-						n, r.Algorithm, r.Layout, r.Kernel, r.GFLOPS, r.KernelRan)
+					fmt.Fprintf(os.Stderr, "n=%-5d %-9s %-11s %-10s %6.2f GFLOPS %8d allocs/op (ran %s)\n",
+						n, r.Algorithm, r.Layout, r.Kernel, r.GFLOPS, r.AllocsPerOp, r.KernelRan)
 				}
 			}
 		}

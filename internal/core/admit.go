@@ -47,41 +47,24 @@ func ladderFor(a Alg) []rung {
 }
 
 // estimateBytes predicts the footprint of one block multiplication:
-// the three packed operands, the algorithm's live temporaries, and the
-// per-worker leaf packing scratch. Temporary estimates integrate the
-// geometric per-level series of a depth-first execution (Standard8
-// allocates 8 quarter-C products per level, Strassen 10 quarter
-// pre-addition operands and 7 quarter products, Winograd 8 and 8,
-// the low-memory variant 3 reused quadrants); parallel execution can
-// have several subtrees' temporaries live at once, modeled by a small
-// worker-dependent inflation factor. The result is an estimate, not a
-// bound — it exists so admission control can refuse or degrade before
-// allocating, not to account bytes exactly.
-func estimateBytes(alg Alg, workers, mp, kp, np, tm, tk, tn int, serial bool) int64 {
+// the three packed operands, the scratch-arena reservation for the
+// algorithm's temporaries, and the per-worker leaf packing scratch.
+// The temporary term is no longer an estimate: it is exactly the
+// workspace the driver reserves up front — arenaStackElems (one
+// depth-first path's geometric series) times the number of arena
+// stacks (one per worker, or one when serial). Admission therefore
+// accounts the arena with one reservation, and a configuration that
+// admits will not heap-allocate temporaries in steady state.
+func estimateBytes(alg Alg, workers, mp, kp, np, tm, tk, tn, fastCutoff int, serial bool) int64 {
 	ab := int64(mp) * int64(kp)
 	bb := int64(kp) * int64(np)
 	cb := int64(mp) * int64(np)
 	packed := ab + bb + cb
-	var temps int64
-	switch alg {
-	case Standard:
-		temps = 0
-	case Standard8:
-		temps = 8 * cb / 3
-	case Strassen:
-		temps = (5*ab + 5*bb + 7*cb) / 3
-	case Winograd:
-		temps = (4*ab + 4*bb + 8*cb) / 3
-	case StrassenLowMem:
-		temps = (ab + bb + cb) / 3
+	stacks := int64(workers)
+	if serial {
+		stacks = 1
 	}
-	if !serial && temps > 0 {
-		f := int64(workers)
-		if f > 4 {
-			f = 4
-		}
-		temps *= f
-	}
+	temps := arenaStackElems(alg, mp/tm, tm, tk, tn, fastCutoff) * stacks
 	w := int64(workers)
 	if serial {
 		w = 1
@@ -111,14 +94,14 @@ func fmtBytes(b int64) string {
 func admit(o Options, workers, mp, kp, np, tm, tk, tn int) (Alg, bool, int64, []string, error) {
 	ladder := ladderFor(o.Alg)
 	requested := ladder[0]
-	est := estimateBytes(requested.alg, workers, mp, kp, np, tm, tk, tn, requested.serial)
+	est := estimateBytes(requested.alg, workers, mp, kp, np, tm, tk, tn, o.FastCutoff, requested.serial)
 	if o.MemBudget <= 0 || est <= o.MemBudget {
 		return requested.alg, requested.serial, est, nil, nil
 	}
 	var notes []string
 	prev, prevEst := requested, est
 	for _, r := range ladder[1:] {
-		e := estimateBytes(r.alg, workers, mp, kp, np, tm, tk, tn, r.serial)
+		e := estimateBytes(r.alg, workers, mp, kp, np, tm, tk, tn, o.FastCutoff, r.serial)
 		notes = append(notes, fmt.Sprintf("mem-budget: %v%s estimated %s > budget %s; degraded to %v%s (estimated %s)",
 			prev.alg, serialTag(prev.serial), fmtBytes(prevEst), fmtBytes(o.MemBudget),
 			r.alg, serialTag(r.serial), fmtBytes(e)))

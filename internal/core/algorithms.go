@@ -77,6 +77,104 @@ type exec struct {
 	// algorithms switch to the standard recursion. 1 recurses the fast
 	// algorithm all the way to single tiles, as the paper does.
 	fastCutoff int
+	// ar is the run's pre-reserved scratch arena; nil means every
+	// temporary heap-allocates (the probe path, or an over-budget
+	// reservation).
+	ar *arena
+	// ewMin: element-wise passes over at least this many elements are
+	// split across the pool (exec.ew2/ew3); 0 disables the splitting.
+	ewMin int
+}
+
+// ewParMin is the default exec.ewMin: below half a megabyte the
+// chunking overhead (closures, task headers, steal traffic) outweighs a
+// memory-bound stream's cost.
+const ewParMin = 1 << 16
+
+// ewChunks is the fan-out of one parallelized element-wise pass.
+func ewChunks(workers, n int) int {
+	chunks := workers * 2
+	if chunks > n {
+		chunks = n
+	}
+	return chunks
+}
+
+// ew2 is matEW2 with pool-parallel chunking: a large pass at a level
+// whose parent still spawns (tiles·2 above the serial cutoff) is split
+// into ranged chunks executed through c.Parallel, so the top-level
+// addition streams — O(n²) work on the critical path — no longer run
+// single-threaded per node. Small passes, serial(-degraded) runs, and
+// frames not bound to a pool worker take the plain streaming path.
+// Chunks honor cancellation through the scheduler's between-task check.
+// Accounting stays with the caller (accountAdd), identical to the
+// serial form.
+func (e *exec) ew2(c *sched.Ctx, dst, a Mat, f func(dst, a []float64)) {
+	checkEW(dst, a)
+	if !e.par(dst.tiles*2) || e.ewMin <= 0 || dst.elems() < e.ewMin ||
+		c.Workers() < 2 || c.WorkerID() < 0 {
+		if dst.tiledStore() {
+			ew2Tiles(dst, a, resolveTileMap(dst, a), 0, dst.tiles*dst.tiles, f)
+		} else {
+			ew2Cols(dst, a, 0, dst.cols(), f)
+		}
+		return
+	}
+	if dst.tiledStore() {
+		m := resolveTileMap(dst, a)
+		nt := dst.tiles * dst.tiles
+		chunks := ewChunks(c.Workers(), nt)
+		fns := make([]func(*sched.Ctx), chunks)
+		for i := 0; i < chunks; i++ {
+			lo, hi := nt*i/chunks, nt*(i+1)/chunks
+			fns[i] = func(*sched.Ctx) { ew2Tiles(dst, a, m, lo, hi, f) }
+		}
+		c.Parallel(fns...)
+		return
+	}
+	cols := dst.cols()
+	chunks := ewChunks(c.Workers(), cols)
+	fns := make([]func(*sched.Ctx), chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := cols*i/chunks, cols*(i+1)/chunks
+		fns[i] = func(*sched.Ctx) { ew2Cols(dst, a, lo, hi, f) }
+	}
+	c.Parallel(fns...)
+}
+
+// ew3 is the three-operand counterpart of ew2.
+func (e *exec) ew3(c *sched.Ctx, dst, a, b Mat, f func(dst, a, b []float64)) {
+	checkEW(dst, a, b)
+	if !e.par(dst.tiles*2) || e.ewMin <= 0 || dst.elems() < e.ewMin ||
+		c.Workers() < 2 || c.WorkerID() < 0 {
+		if dst.tiledStore() {
+			ew3Tiles(dst, a, b, resolveTileMap(dst, a), resolveTileMap(dst, b),
+				0, dst.tiles*dst.tiles, f)
+		} else {
+			ew3Cols(dst, a, b, 0, dst.cols(), f)
+		}
+		return
+	}
+	if dst.tiledStore() {
+		ma, mb := resolveTileMap(dst, a), resolveTileMap(dst, b)
+		nt := dst.tiles * dst.tiles
+		chunks := ewChunks(c.Workers(), nt)
+		fns := make([]func(*sched.Ctx), chunks)
+		for i := 0; i < chunks; i++ {
+			lo, hi := nt*i/chunks, nt*(i+1)/chunks
+			fns[i] = func(*sched.Ctx) { ew3Tiles(dst, a, b, ma, mb, lo, hi, f) }
+		}
+		c.Parallel(fns...)
+		return
+	}
+	cols := dst.cols()
+	chunks := ewChunks(c.Workers(), cols)
+	fns := make([]func(*sched.Ctx), chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := cols*i/chunks, cols*(i+1)/chunks
+		fns[i] = func(*sched.Ctx) { ew3Cols(dst, a, b, lo, hi, f) }
+	}
+	c.Parallel(fns...)
 }
 
 // leafMul runs the leaf kernel on a single tile trio and accounts its
@@ -190,9 +288,20 @@ func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
 		e.leafMul(c, C, A, B)
 		return
 	}
+	if !e.par(C.tiles) {
+		// The serial region lives in its own closure-free function:
+		// escape analysis would otherwise heap-allocate the temp array
+		// of every frame just because the (untaken) parallel branch
+		// captures it. par is monotone down the recursion, so the
+		// serial variant never needs to spawn.
+		e.std8Serial(c, C, A, B)
+		return
+	}
 	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
 	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
 	var p [8]Mat
 	for i := range p {
 		// Near the root each temp is a quarter of C; poll so a cancel
@@ -200,66 +309,115 @@ func (e *exec) std8(c *sched.Ctx, C, A, B Mat) {
 		if c.Cancelled() {
 			return
 		}
-		p[i] = newTemp(c11)
+		p[i] = e.newTemp(c, c11)
 	}
-	mults := []func(*sched.Ctx){
-		func(c *sched.Ctx) { e.std8(c, p[0], a11, b11) },
-		func(c *sched.Ctx) { e.std8(c, p[1], a12, b21) },
-		func(c *sched.Ctx) { e.std8(c, p[2], a21, b11) },
-		func(c *sched.Ctx) { e.std8(c, p[3], a22, b21) },
-		func(c *sched.Ctx) { e.std8(c, p[4], a11, b12) },
-		func(c *sched.Ctx) { e.std8(c, p[5], a12, b22) },
-		func(c *sched.Ctx) { e.std8(c, p[6], a21, b12) },
-		func(c *sched.Ctx) { e.std8(c, p[7], a22, b22) },
-	}
-	post := []func(*sched.Ctx){
+	// Arena memory is dirty; each product zeroes its destination
+	// inside its own task (a parallel memset for free) before the
+	// accumulate recursion.
+	c.Parallel(
+		func(c *sched.Ctx) { matZero(p[0]); e.std8(c, p[0], a11, b11) },
+		func(c *sched.Ctx) { matZero(p[1]); e.std8(c, p[1], a12, b21) },
+		func(c *sched.Ctx) { matZero(p[2]); e.std8(c, p[2], a21, b11) },
+		func(c *sched.Ctx) { matZero(p[3]); e.std8(c, p[3], a22, b21) },
+		func(c *sched.Ctx) { matZero(p[4]); e.std8(c, p[4], a11, b12) },
+		func(c *sched.Ctx) { matZero(p[5]); e.std8(c, p[5], a12, b22) },
+		func(c *sched.Ctx) { matZero(p[6]); e.std8(c, p[6], a21, b12) },
+		func(c *sched.Ctx) { matZero(p[7]); e.std8(c, p[7], a22, b22) },
+	)
+	c.Parallel(
 		func(c *sched.Ctx) {
-			matEW2(c11, p[0], vAcc)
+			e.ew2(c, c11, p[0], vAcc)
 			if ewCancelled(c) {
 				return
 			}
-			matEW2(c11, p[1], vAcc)
+			e.ew2(c, c11, p[1], vAcc)
 			accountAdd(c, c11)
 			accountAdd(c, c11)
 		},
 		func(c *sched.Ctx) {
-			matEW2(c21, p[2], vAcc)
+			e.ew2(c, c21, p[2], vAcc)
 			if ewCancelled(c) {
 				return
 			}
-			matEW2(c21, p[3], vAcc)
+			e.ew2(c, c21, p[3], vAcc)
 			accountAdd(c, c21)
 			accountAdd(c, c21)
 		},
 		func(c *sched.Ctx) {
-			matEW2(c12, p[4], vAcc)
+			e.ew2(c, c12, p[4], vAcc)
 			if ewCancelled(c) {
 				return
 			}
-			matEW2(c12, p[5], vAcc)
+			e.ew2(c, c12, p[5], vAcc)
 			accountAdd(c, c12)
 			accountAdd(c, c12)
 		},
 		func(c *sched.Ctx) {
-			matEW2(c22, p[6], vAcc)
+			e.ew2(c, c22, p[6], vAcc)
 			if ewCancelled(c) {
 				return
 			}
-			matEW2(c22, p[7], vAcc)
+			e.ew2(c, c22, p[7], vAcc)
 			accountAdd(c, c22)
 			accountAdd(c, c22)
 		},
-	}
-	if e.par(C.tiles) {
-		c.Parallel(mults...)
-		c.Parallel(post...)
+	)
+}
+
+// std8Serial is std8 below the serial cutoff: straight-line and
+// closure-free, so the in-frame recursion allocates nothing at all.
+func (e *exec) std8Serial(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
 		return
 	}
-	for _, f := range mults {
-		f(c)
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
 	}
-	for _, f := range post {
-		f(c)
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
+	var p [8]Mat
+	for i := range p {
+		if c.Cancelled() {
+			return
+		}
+		p[i] = e.newTemp(c, c11)
+	}
+	matZero(p[0])
+	e.std8Serial(c, p[0], a11, b11)
+	matZero(p[1])
+	e.std8Serial(c, p[1], a12, b21)
+	matZero(p[2])
+	e.std8Serial(c, p[2], a21, b11)
+	matZero(p[3])
+	e.std8Serial(c, p[3], a22, b21)
+	matZero(p[4])
+	e.std8Serial(c, p[4], a11, b12)
+	matZero(p[5])
+	e.std8Serial(c, p[5], a12, b22)
+	matZero(p[6])
+	e.std8Serial(c, p[6], a21, b12)
+	matZero(p[7])
+	e.std8Serial(c, p[7], a22, b22)
+	if ewCancelled(c) {
+		return
+	}
+	matEW2(c11, p[0], vAcc)
+	matEW2(c11, p[1], vAcc)
+	matEW2(c21, p[2], vAcc)
+	matEW2(c21, p[3], vAcc)
+	if ewCancelled(c) {
+		return
+	}
+	matEW2(c12, p[4], vAcc)
+	matEW2(c12, p[5], vAcc)
+	matEW2(c22, p[6], vAcc)
+	matEW2(c22, p[7], vAcc)
+	for i := 0; i < 8; i++ {
+		accountAdd(c, c11)
 	}
 }
 
@@ -280,105 +438,201 @@ func (e *exec) strassen(c *sched.Ctx, C, A, B Mat) {
 		e.std(c, C, A, B)
 		return
 	}
+	if !e.par(C.tiles) {
+		// See std8: the serial region lives in a closure-free function so
+		// that escape analysis does not heap-allocate the temp descriptors
+		// of every frame; par is monotone down the recursion.
+		e.strassenSerial(c, C, A, B)
+		return
+	}
 	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
 	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
 
-	s1, s2, s3, s4, s5 := newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11)
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
+	// The S/T pre-addition operands are fully overwritten by their matEW3
+	// pass, so dirty arena memory is fine; the P products accumulate and
+	// are zeroed just before their recursion.
+	s1, s2, s3, s4, s5 := e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11)
 	if c.Cancelled() {
 		return
 	}
-	t1, t2, t3, t4, t5 := newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11)
-	pre := []func(*sched.Ctx){
-		func(c *sched.Ctx) { matEW3(s1, a11, a22, vAdd); accountAdd(c, s1) },
-		func(c *sched.Ctx) { matEW3(s2, a21, a22, vAdd); accountAdd(c, s2) },
-		func(c *sched.Ctx) { matEW3(s3, a11, a12, vAdd); accountAdd(c, s3) },
-		func(c *sched.Ctx) { matEW3(s4, a21, a11, vSub); accountAdd(c, s4) },
-		func(c *sched.Ctx) { matEW3(s5, a12, a22, vSub); accountAdd(c, s5) },
-		func(c *sched.Ctx) { matEW3(t1, b11, b22, vAdd); accountAdd(c, t1) },
-		func(c *sched.Ctx) { matEW3(t2, b12, b22, vSub); accountAdd(c, t2) },
-		func(c *sched.Ctx) { matEW3(t3, b21, b11, vSub); accountAdd(c, t3) },
-		func(c *sched.Ctx) { matEW3(t4, b11, b12, vAdd); accountAdd(c, t4) },
-		func(c *sched.Ctx) { matEW3(t5, b21, b22, vAdd); accountAdd(c, t5) },
-	}
+	t1, t2, t3, t4, t5 := e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11)
 	var p [7]Mat
 	for i := range p {
-		p[i] = newTemp(c11)
+		p[i] = e.newTemp(c, c11)
 	}
 	if c.Cancelled() {
 		return
 	}
-	mults := []func(*sched.Ctx){
-		func(c *sched.Ctx) { e.strassen(c, p[0], s1, t1) },
-		func(c *sched.Ctx) { e.strassen(c, p[1], s2, b11) },
-		func(c *sched.Ctx) { e.strassen(c, p[2], a11, t2) },
-		func(c *sched.Ctx) { e.strassen(c, p[3], a22, t3) },
-		func(c *sched.Ctx) { e.strassen(c, p[4], s3, b22) },
-		func(c *sched.Ctx) { e.strassen(c, p[5], s4, t4) },
-		func(c *sched.Ctx) { e.strassen(c, p[6], s5, t5) },
-	}
-	post := []func(*sched.Ctx){
+	c.Parallel(
+		func(c *sched.Ctx) { e.ew3(c, s1, a11, a22, vAdd); accountAdd(c, s1) },
+		func(c *sched.Ctx) { e.ew3(c, s2, a21, a22, vAdd); accountAdd(c, s2) },
+		func(c *sched.Ctx) { e.ew3(c, s3, a11, a12, vAdd); accountAdd(c, s3) },
+		func(c *sched.Ctx) { e.ew3(c, s4, a21, a11, vSub); accountAdd(c, s4) },
+		func(c *sched.Ctx) { e.ew3(c, s5, a12, a22, vSub); accountAdd(c, s5) },
+		func(c *sched.Ctx) { e.ew3(c, t1, b11, b22, vAdd); accountAdd(c, t1) },
+		func(c *sched.Ctx) { e.ew3(c, t2, b12, b22, vSub); accountAdd(c, t2) },
+		func(c *sched.Ctx) { e.ew3(c, t3, b21, b11, vSub); accountAdd(c, t3) },
+		func(c *sched.Ctx) { e.ew3(c, t4, b11, b12, vAdd); accountAdd(c, t4) },
+		func(c *sched.Ctx) { e.ew3(c, t5, b21, b22, vAdd); accountAdd(c, t5) },
+	)
+	c.Parallel(
+		func(c *sched.Ctx) { matZero(p[0]); e.strassen(c, p[0], s1, t1) },
+		func(c *sched.Ctx) { matZero(p[1]); e.strassen(c, p[1], s2, b11) },
+		func(c *sched.Ctx) { matZero(p[2]); e.strassen(c, p[2], a11, t2) },
+		func(c *sched.Ctx) { matZero(p[3]); e.strassen(c, p[3], a22, t3) },
+		func(c *sched.Ctx) { matZero(p[4]); e.strassen(c, p[4], s3, b22) },
+		func(c *sched.Ctx) { matZero(p[5]); e.strassen(c, p[5], s4, t4) },
+		func(c *sched.Ctx) { matZero(p[6]); e.strassen(c, p[6], s5, t5) },
+	)
+	c.Parallel(
 		func(c *sched.Ctx) { // C11 += P1 + P4 − P5 + P7
-			for i, step := range []func(){
-				func() { matEW2(c11, p[0], vAcc) },
-				func() { matEW2(c11, p[3], vAcc) },
-				func() { matEW2(c11, p[4], vDec) },
-				func() { matEW2(c11, p[6], vAcc) },
-			} {
-				if i > 0 && ewCancelled(c) {
-					return
-				}
-				step()
-				accountAdd(c, c11)
-			}
-		},
-		func(c *sched.Ctx) { // C21 += P2 + P4
-			matEW2(c21, p[1], vAcc)
+			e.ew2(c, c11, p[0], vAcc)
+			accountAdd(c, c11)
 			if ewCancelled(c) {
 				return
 			}
-			matEW2(c21, p[3], vAcc)
+			e.ew2(c, c11, p[3], vAcc)
+			accountAdd(c, c11)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew2(c, c11, p[4], vDec)
+			accountAdd(c, c11)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew2(c, c11, p[6], vAcc)
+			accountAdd(c, c11)
+		},
+		func(c *sched.Ctx) { // C21 += P2 + P4
+			e.ew2(c, c21, p[1], vAcc)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew2(c, c21, p[3], vAcc)
 			accountAdd(c, c21)
 			accountAdd(c, c21)
 		},
 		func(c *sched.Ctx) { // C12 += P3 + P5
-			matEW2(c12, p[2], vAcc)
+			e.ew2(c, c12, p[2], vAcc)
 			if ewCancelled(c) {
 				return
 			}
-			matEW2(c12, p[4], vAcc)
+			e.ew2(c, c12, p[4], vAcc)
 			accountAdd(c, c12)
 			accountAdd(c, c12)
 		},
 		func(c *sched.Ctx) { // C22 += P1 + P3 − P2 + P6
-			for i, step := range []func(){
-				func() { matEW2(c22, p[0], vAcc) },
-				func() { matEW2(c22, p[2], vAcc) },
-				func() { matEW2(c22, p[1], vDec) },
-				func() { matEW2(c22, p[5], vAcc) },
-			} {
-				if i > 0 && ewCancelled(c) {
-					return
-				}
-				step()
-				accountAdd(c, c22)
+			e.ew2(c, c22, p[0], vAcc)
+			accountAdd(c, c22)
+			if ewCancelled(c) {
+				return
 			}
+			e.ew2(c, c22, p[2], vAcc)
+			accountAdd(c, c22)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew2(c, c22, p[1], vDec)
+			accountAdd(c, c22)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew2(c, c22, p[5], vAcc)
+			accountAdd(c, c22)
 		},
-	}
-	if e.par(C.tiles) {
-		c.Parallel(pre...)
-		c.Parallel(mults...)
-		c.Parallel(post...)
+	)
+}
+
+// strassenSerial is the closure-free serial region of strassen:
+// straight-line single-stream passes and zero heap allocations below the
+// serial cutoff.
+func (e *exec) strassenSerial(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
 		return
 	}
-	for _, f := range pre {
-		f(c)
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
 	}
-	for _, f := range mults {
-		f(c)
+	if C.tiles <= e.fastCutoff {
+		e.std(c, C, A, B)
+		return
 	}
-	for _, f := range post {
-		f(c)
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
+	s1, s2, s3, s4, s5 := e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11)
+	if c.Cancelled() {
+		return
+	}
+	t1, t2, t3, t4, t5 := e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11)
+	var p [7]Mat
+	for i := range p {
+		p[i] = e.newTemp(c, c11)
+	}
+	if c.Cancelled() {
+		return
+	}
+	matEW3(s1, a11, a22, vAdd)
+	matEW3(s2, a21, a22, vAdd)
+	matEW3(s3, a11, a12, vAdd)
+	matEW3(s4, a21, a11, vSub)
+	matEW3(s5, a12, a22, vSub)
+	if ewCancelled(c) {
+		return
+	}
+	matEW3(t1, b11, b22, vAdd)
+	matEW3(t2, b12, b22, vSub)
+	matEW3(t3, b21, b11, vSub)
+	matEW3(t4, b11, b12, vAdd)
+	matEW3(t5, b21, b22, vAdd)
+	for i := 0; i < 10; i++ {
+		accountAdd(c, s1)
+	}
+	if c.Cancelled() {
+		return
+	}
+	matZero(p[0])
+	e.strassenSerial(c, p[0], s1, t1)
+	matZero(p[1])
+	e.strassenSerial(c, p[1], s2, b11)
+	matZero(p[2])
+	e.strassenSerial(c, p[2], a11, t2)
+	matZero(p[3])
+	e.strassenSerial(c, p[3], a22, t3)
+	matZero(p[4])
+	e.strassenSerial(c, p[4], s3, b22)
+	matZero(p[5])
+	e.strassenSerial(c, p[5], s4, t4)
+	matZero(p[6])
+	e.strassenSerial(c, p[6], s5, t5)
+	if ewCancelled(c) {
+		return
+	}
+	matEW2(c11, p[0], vAcc) // C11 += P1 + P4 − P5 + P7
+	matEW2(c11, p[3], vAcc)
+	matEW2(c11, p[4], vDec)
+	matEW2(c11, p[6], vAcc)
+	matEW2(c21, p[1], vAcc) // C21 += P2 + P4
+	matEW2(c21, p[3], vAcc)
+	if ewCancelled(c) {
+		return
+	}
+	matEW2(c12, p[2], vAcc) // C12 += P3 + P5
+	matEW2(c12, p[4], vAcc)
+	matEW2(c22, p[0], vAcc) // C22 += P1 + P3 − P2 + P6
+	matEW2(c22, p[2], vAcc)
+	matEW2(c22, p[1], vDec)
+	matEW2(c22, p[5], vAcc)
+	for i := 0; i < 12; i++ {
+		accountAdd(c, c11)
 	}
 }
 
@@ -399,95 +653,209 @@ func (e *exec) winograd(c *sched.Ctx, C, A, B Mat) {
 		e.std(c, C, A, B)
 		return
 	}
+	if !e.par(C.tiles) {
+		// See std8: the serial region lives in a closure-free function so
+		// that escape analysis does not heap-allocate the temp descriptors
+		// of every frame; par is monotone down the recursion.
+		e.winogradSerial(c, C, A, B)
+		return
+	}
 	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
 	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
 
-	s1, s2, s3, s4 := newTemp(a11), newTemp(a11), newTemp(a11), newTemp(a11)
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
+	s1, s2, s3, s4 := e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11)
 	if c.Cancelled() {
 		return
 	}
-	t1, t2, t3, t4 := newTemp(b11), newTemp(b11), newTemp(b11), newTemp(b11)
-	pre := []func(*sched.Ctx){
-		func(c *sched.Ctx) { // chain S1 → S2 → S4
-			matEW3(s1, a21, a22, vAdd)
-			if ewCancelled(c) {
-				return
-			}
-			matEW3(s2, s1, a11, vSub)
-			matEW3(s4, a12, s2, vSub)
-			for i := 0; i < 3; i++ {
-				accountAdd(c, s1)
-			}
-		},
-		func(c *sched.Ctx) { matEW3(s3, a11, a21, vSub); accountAdd(c, s3) },
-		func(c *sched.Ctx) { // chain T1 → T2 → T4
-			matEW3(t1, b12, b11, vSub)
-			if ewCancelled(c) {
-				return
-			}
-			matEW3(t2, b22, t1, vSub)
-			matEW3(t4, b21, t2, vSub)
-			for i := 0; i < 3; i++ {
-				accountAdd(c, t1)
-			}
-		},
-		func(c *sched.Ctx) { matEW3(t3, b22, b12, vSub); accountAdd(c, t3) },
-	}
+	t1, t2, t3, t4 := e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11)
 	var p [7]Mat
 	for i := range p {
 		if c.Cancelled() {
 			return
 		}
-		p[i] = newTemp(c11)
+		p[i] = e.newTemp(c, c11)
 	}
-	mults := []func(*sched.Ctx){
-		func(c *sched.Ctx) { e.winograd(c, p[0], a11, b11) },
-		func(c *sched.Ctx) { e.winograd(c, p[1], a12, b21) },
-		func(c *sched.Ctx) { e.winograd(c, p[2], s1, t1) },
-		func(c *sched.Ctx) { e.winograd(c, p[3], s2, t2) },
-		func(c *sched.Ctx) { e.winograd(c, p[4], s3, t3) },
-		func(c *sched.Ctx) { e.winograd(c, p[5], s4, b22) },
-		func(c *sched.Ctx) { e.winograd(c, p[6], a22, t4) },
-	}
-	if e.par(C.tiles) {
-		c.Parallel(pre...)
-		c.Parallel(mults...)
-	} else {
-		for _, f := range pre {
-			f(c)
-		}
-		for _, f := range mults {
-			f(c)
-		}
-	}
+	c.Parallel(
+		func(c *sched.Ctx) { // chain S1 → S2 → S4
+			e.ew3(c, s1, a21, a22, vAdd)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew3(c, s2, s1, a11, vSub)
+			e.ew3(c, s4, a12, s2, vSub)
+			for i := 0; i < 3; i++ {
+				accountAdd(c, s1)
+			}
+		},
+		func(c *sched.Ctx) { e.ew3(c, s3, a11, a21, vSub); accountAdd(c, s3) },
+		func(c *sched.Ctx) { // chain T1 → T2 → T4
+			e.ew3(c, t1, b12, b11, vSub)
+			if ewCancelled(c) {
+				return
+			}
+			e.ew3(c, t2, b22, t1, vSub)
+			e.ew3(c, t4, b21, t2, vSub)
+			for i := 0; i < 3; i++ {
+				accountAdd(c, t1)
+			}
+		},
+		func(c *sched.Ctx) { e.ew3(c, t3, b22, b12, vSub); accountAdd(c, t3) },
+	)
+	c.Parallel(
+		func(c *sched.Ctx) { matZero(p[0]); e.winograd(c, p[0], a11, b11) },
+		func(c *sched.Ctx) { matZero(p[1]); e.winograd(c, p[1], a12, b21) },
+		func(c *sched.Ctx) { matZero(p[2]); e.winograd(c, p[2], s1, t1) },
+		func(c *sched.Ctx) { matZero(p[3]); e.winograd(c, p[3], s2, t2) },
+		func(c *sched.Ctx) { matZero(p[4]); e.winograd(c, p[4], s3, t3) },
+		func(c *sched.Ctx) { matZero(p[5]); e.winograd(c, p[5], s4, b22) },
+		func(c *sched.Ctx) { matZero(p[6]); e.winograd(c, p[6], a22, t4) },
+	)
 	// Post-additions (U-chain). U2 and U3 are genuinely shared, so this
 	// stage is sequential apart from the independent C11 pair — the
-	// worse algorithmic locality the paper attributes to Winograd. Near
-	// the root each pass touches O(n²) elements, so poll for
-	// cancellation between passes.
-	u2 := newTemp(c11)
-	var u6 Mat
-	for i, step := range []func(){
-		func() { matEW3(u2, p[0], p[3], vAdd) }, // U2 = P1 + P4
-		func() {
-			u6 = p[3]                  // reuse P4's storage
-			matEW3(u6, u2, p[2], vAdd) // U6 = U2 + P3
-		},
-		func() { matEW2(u2, p[4], vAcc) },  // U3 = U2 + P5 (in place)
-		func() { matEW2(c11, p[0], vAcc) }, // C11 += P1 + P2
-		func() { matEW2(c11, p[1], vAcc) },
-		func() { matEW2(c21, u2, vAcc) }, // C21 += U3 + P7
-		func() { matEW2(c21, p[6], vAcc) },
-		func() { matEW2(c22, u2, vAcc) }, // C22 += U3 + P3
-		func() { matEW2(c22, p[2], vAcc) },
-		func() { matEW2(c12, u6, vAcc) }, // C12 += U6 + P6
-		func() { matEW2(c12, p[5], vAcc) },
-	} {
-		if i > 0 && ewCancelled(c) {
-			return
-		}
-		step()
+	// worse algorithmic locality the paper attributes to Winograd. The
+	// individual passes still spread across the pool through ew2/ew3 when
+	// large enough. Near the root each pass touches O(n²) elements, so
+	// poll for cancellation between passes. U2 is fully overwritten by
+	// its first pass, so dirty arena memory is fine.
+	u2 := e.newTemp(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	e.ew3(c, u2, p[0], p[3], vAdd) // U2 = P1 + P4
+	accountAdd(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	u6 := p[3]                   // reuse P4's storage
+	e.ew3(c, u6, u2, p[2], vAdd) // U6 = U2 + P3
+	accountAdd(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	e.ew2(c, u2, p[4], vAcc) // U3 = U2 + P5 (in place)
+	accountAdd(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	e.ew2(c, c11, p[0], vAcc) // C11 += P1 + P2
+	e.ew2(c, c11, p[1], vAcc)
+	accountAdd(c, c11)
+	accountAdd(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	e.ew2(c, c21, u2, vAcc) // C21 += U3 + P7
+	e.ew2(c, c21, p[6], vAcc)
+	accountAdd(c, c11)
+	accountAdd(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	e.ew2(c, c22, u2, vAcc) // C22 += U3 + P3
+	e.ew2(c, c22, p[2], vAcc)
+	accountAdd(c, c11)
+	accountAdd(c, c11)
+	if ewCancelled(c) {
+		return
+	}
+	e.ew2(c, c12, u6, vAcc) // C12 += U6 + P6
+	e.ew2(c, c12, p[5], vAcc)
+	accountAdd(c, c11)
+	accountAdd(c, c11)
+}
+
+// winogradSerial is the closure-free serial region of winograd:
+// straight-line single-stream passes and zero heap allocations below the
+// serial cutoff.
+func (e *exec) winogradSerial(c *sched.Ctx, C, A, B Mat) {
+	if c.Cancelled() {
+		return
+	}
+	if C.tiles == 1 {
+		e.leafMul(c, C, A, B)
+		return
+	}
+	if C.tiles <= e.fastCutoff {
+		e.std(c, C, A, B)
+		return
+	}
+	c11, c12, c21, c22 := C.quad(layout.QuadNW), C.quad(layout.QuadNE), C.quad(layout.QuadSW), C.quad(layout.QuadSE)
+	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
+	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
+
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
+	s1, s2, s3, s4 := e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11), e.newTemp(c, a11)
+	if c.Cancelled() {
+		return
+	}
+	t1, t2, t3, t4 := e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11), e.newTemp(c, b11)
+	var p [7]Mat
+	for i := range p {
+		p[i] = e.newTemp(c, c11)
+	}
+	if c.Cancelled() {
+		return
+	}
+	matEW3(s1, a21, a22, vAdd) // chain S1 → S2 → S4
+	matEW3(s2, s1, a11, vSub)
+	matEW3(s4, a12, s2, vSub)
+	matEW3(s3, a11, a21, vSub)
+	if ewCancelled(c) {
+		return
+	}
+	matEW3(t1, b12, b11, vSub) // chain T1 → T2 → T4
+	matEW3(t2, b22, t1, vSub)
+	matEW3(t4, b21, t2, vSub)
+	matEW3(t3, b22, b12, vSub)
+	for i := 0; i < 8; i++ {
+		accountAdd(c, s1)
+	}
+	if c.Cancelled() {
+		return
+	}
+	matZero(p[0])
+	e.winogradSerial(c, p[0], a11, b11)
+	matZero(p[1])
+	e.winogradSerial(c, p[1], a12, b21)
+	matZero(p[2])
+	e.winogradSerial(c, p[2], s1, t1)
+	matZero(p[3])
+	e.winogradSerial(c, p[3], s2, t2)
+	matZero(p[4])
+	e.winogradSerial(c, p[4], s3, t3)
+	matZero(p[5])
+	e.winogradSerial(c, p[5], s4, b22)
+	matZero(p[6])
+	e.winogradSerial(c, p[6], a22, t4)
+	if ewCancelled(c) {
+		return
+	}
+	// U-chain, straight line. U2 is fully overwritten by its first pass,
+	// so dirty arena memory is fine.
+	u2 := e.newTemp(c, c11)
+	matEW3(u2, p[0], p[3], vAdd) // U2 = P1 + P4
+	u6 := p[3]                   // reuse P4's storage
+	matEW3(u6, u2, p[2], vAdd)   // U6 = U2 + P3
+	matEW2(u2, p[4], vAcc)       // U3 = U2 + P5 (in place)
+	if ewCancelled(c) {
+		return
+	}
+	matEW2(c11, p[0], vAcc) // C11 += P1 + P2
+	matEW2(c11, p[1], vAcc)
+	matEW2(c21, u2, vAcc) // C21 += U3 + P7
+	matEW2(c21, p[6], vAcc)
+	if ewCancelled(c) {
+		return
+	}
+	matEW2(c22, u2, vAcc) // C22 += U3 + P3
+	matEW2(c22, p[2], vAcc)
+	matEW2(c12, u6, vAcc) // C12 += U6 + P6
+	matEW2(c12, p[5], vAcc)
+	for i := 0; i < 11; i++ {
 		accountAdd(c, c11)
 	}
 }

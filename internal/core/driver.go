@@ -107,8 +107,8 @@ type Stats struct {
 	// instrumentation did.
 	Work, Span float64
 	// Depth and tile sizes of the (first) block multiplication.
-	Depth               uint
-	TileM, TileK, TileN int
+	Depth                     uint
+	TileM, TileK, TileN       int
 	PaddedM, PaddedK, PaddedN int
 	// Kernel names the leaf kernel that actually ran ("custom" for a
 	// caller-supplied bare function); under the autotuned default it is
@@ -128,6 +128,16 @@ type Stats struct {
 	// EstimatedBytes is the admission-control footprint estimate of the
 	// configuration that ran (first block).
 	EstimatedBytes int64
+	// ArenaBytes is the scratch-arena workspace reserved up front for
+	// the (first) block multiplication — the recursion's temporaries are
+	// carved from it instead of the heap. 0 means the algorithm needs no
+	// temporaries (Standard) or the reservation was declined.
+	ArenaBytes int64
+	// AllocBytes counts temporary bytes that missed the arena and fell
+	// back to the heap (summed over blocks). 0 in steady state; non-zero
+	// indicates transient over-subscription of a worker's arena stack
+	// under work stealing, or a declined reservation.
+	AllocBytes int64
 }
 
 // Total returns the end-to-end wall time.
@@ -344,7 +354,7 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	if err != nil {
 		return err
 	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin}
 	if o.MaxResidualGrowth > 0 && isFastAlg(alg) {
 		if growth := probeResidualGrowth(e, alg, transA, transB, Av, Bv); growth > o.MaxResidualGrowth {
 			notes = append(notes, fmt.Sprintf("residual-probe: %v growth %.1f > bound %.1f; degraded to %v",
@@ -357,6 +367,18 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 		// path of temporaries (and one worker's kernel scratch) is live.
 		e.serialCutoff = 1 << 30
 	}
+	// Reserve the block's scratch arena — the one up-front allocation
+	// the admission estimate already charged. Every temporary of the
+	// recursion is carved from it; release returns the buffer to the
+	// recycling pool once the block's tasks have drained (RunCtx returns
+	// only after that, even on cancellation).
+	stacks := pool.Workers()
+	if serial {
+		stacks = 1
+	}
+	ar := acquireArena(alg, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
+	defer releaseArena(ar)
+	e.ar = ar
 	if record {
 		stats.Depth = d
 		stats.TileM, stats.TileK, stats.TileN = tm, tk, tn
@@ -366,12 +388,18 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 		stats.Serial = serial
 		stats.Degraded = notes
 		stats.EstimatedBytes = est
+		stats.ArenaBytes = ar.bytes()
 	}
 
 	if o.Curve == layout.ColMajor {
-		return blockCanonical(ctx, pool, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+		err = blockCanonical(ctx, pool, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+	} else {
+		err = blockRecursive(ctx, pool, o, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
 	}
-	return blockRecursive(ctx, pool, o, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+	if ar != nil {
+		stats.AllocBytes += 8 * ar.fallbackElems.Load()
+	}
+	return err
 }
 
 func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e *exec, stats *Stats,
@@ -511,18 +539,29 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	if err != nil {
 		return nil, err
 	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin}
 	if serial {
 		e.serialCutoff = 1 << 30
 	}
+	stacks := pool.Workers()
+	if serial {
+		stacks = 1
+	}
+	ar := acquireArena(alg, 1<<C.D, C.TR, A.TC, C.TC, e.fastCutoff, stacks)
+	defer releaseArena(ar)
+	e.ar = ar
 	stats = &Stats{Depth: C.D, TileM: C.TR, TileK: A.TC, TileN: C.TC,
 		PaddedM: C.PaddedRows(), PaddedK: A.PaddedCols(), PaddedN: C.PaddedCols(),
-		Kernel: kname, Blocks: 1, Alg: alg, Serial: serial, Degraded: notes, EstimatedBytes: est}
+		Kernel: kname, Blocks: 1, Alg: alg, Serial: serial, Degraded: notes,
+		EstimatedBytes: est, ArenaBytes: ar.bytes()}
 	t0 := time.Now()
 	cm, am, bm := C.Mat(), A.Mat(), B.Mat()
 	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
 	stats.Compute = time.Since(t0)
 	stats.Work, stats.Span = work, span
+	if ar != nil {
+		stats.AllocBytes = 8 * ar.fallbackElems.Load()
+	}
 	if err != nil {
 		return nil, err
 	}

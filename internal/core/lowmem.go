@@ -37,49 +37,58 @@ func (e *exec) strassenLowMem(c *sched.Ctx, C, A, B Mat) {
 	a11, a12, a21, a22 := A.quad(layout.QuadNW), A.quad(layout.QuadNE), A.quad(layout.QuadSW), A.quad(layout.QuadSE)
 	b11, b12, b21, b22 := B.quad(layout.QuadNW), B.quad(layout.QuadNE), B.quad(layout.QuadSW), B.quad(layout.QuadSE)
 
-	s := newTemp(a11)
-	t := newTemp(b11)
-	p := newTemp(c11)
+	// The variant shares the run's arena: one S-, T-, and P-shaped
+	// scratch per level (its signature footprint) carved from the single
+	// sequential stack and released on return. S and T are fully
+	// overwritten before each use; P is explicitly zeroed.
+	st, top := e.ar.mark(c)
+	defer e.ar.release(st, top)
+	s := e.newTemp(c, a11)
+	t := e.newTemp(c, b11)
+	p := e.newTemp(c, c11)
 
-	product := func(sa, sb Mat) {
-		matZero(p)
-		e.strassenLowMem(c, p, sa, sb)
-	}
 	// P1 = (A11+A22)·(B11+B22) → C11, C22
 	matEW3(s, a11, a22, vAdd)
 	matEW3(t, b11, b22, vAdd)
-	product(s, t)
+	matZero(p)
+	e.strassenLowMem(c, p, s, t)
 	matEW2(c11, p, vAcc)
 	matEW2(c22, p, vAcc)
 	// P2 = (A21+A22)·B11 → C21, −C22
 	matEW3(s, a21, a22, vAdd)
-	product(s, b11)
+	matZero(p)
+	e.strassenLowMem(c, p, s, b11)
 	matEW2(c21, p, vAcc)
 	matEW2(c22, p, vDec)
 	// P3 = A11·(B12−B22) → C12, C22
 	matEW3(t, b12, b22, vSub)
-	product(a11, t)
+	matZero(p)
+	e.strassenLowMem(c, p, a11, t)
 	matEW2(c12, p, vAcc)
 	matEW2(c22, p, vAcc)
 	// P4 = A22·(B21−B11) → C11, C21
 	matEW3(t, b21, b11, vSub)
-	product(a22, t)
+	matZero(p)
+	e.strassenLowMem(c, p, a22, t)
 	matEW2(c11, p, vAcc)
 	matEW2(c21, p, vAcc)
 	// P5 = (A11+A12)·B22 → −C11, C12
 	matEW3(s, a11, a12, vAdd)
-	product(s, b22)
+	matZero(p)
+	e.strassenLowMem(c, p, s, b22)
 	matEW2(c11, p, vDec)
 	matEW2(c12, p, vAcc)
 	// P6 = (A21−A11)·(B11+B12) → C22
 	matEW3(s, a21, a11, vSub)
 	matEW3(t, b11, b12, vAdd)
-	product(s, t)
+	matZero(p)
+	e.strassenLowMem(c, p, s, t)
 	matEW2(c22, p, vAcc)
 	// P7 = (A12−A22)·(B21+B22) → C11
 	matEW3(s, a12, a22, vSub)
 	matEW3(t, b21, b22, vAdd)
-	product(s, t)
+	matZero(p)
+	e.strassenLowMem(c, p, s, t)
 	matEW2(c11, p, vAcc)
 
 	// 10 pre-addition passes, 7 zero-fills, 12 accumulate passes.

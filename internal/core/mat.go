@@ -22,7 +22,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/layout"
@@ -105,23 +105,28 @@ func (m Mat) dense() *matrix.Dense {
 }
 
 // permCache memoizes orientation permutations per (curve, from, to,
-// depth); see layout.Perm. Depth here is lg(tiles).
-var permCache sync.Map
+// depth); see layout.Perm. Depth here is lg(tiles). A flat array of
+// atomic pointers rather than a sync.Map: map lookups box the struct
+// key into an interface, which allocates on every hot-path query —
+// unacceptable now that the steady state is pinned at zero allocations.
+const maxPermDepth = 12
 
-type permKey struct {
-	c        layout.Curve
-	from, to layout.Orient
-	d        uint
-}
+var permCache [8][4][4][maxPermDepth + 1]atomic.Pointer[[]int32]
 
 func permFor(c layout.Curve, from, to layout.Orient, d uint) []int32 {
-	key := permKey{c, from, to, d}
-	if v, ok := permCache.Load(key); ok {
-		return v.([]int32)
+	if int(c) >= len(permCache) || from > 3 || to > 3 || d > maxPermDepth {
+		// Off the cacheable grid (absurd depth): compute directly.
+		return c.Perm(from, to, d)
+	}
+	slot := &permCache[c][from][to][d]
+	if p := slot.Load(); p != nil {
+		return *p
 	}
 	p := c.Perm(from, to, d)
-	actual, _ := permCache.LoadOrStore(key, p)
-	return actual.([]int32)
+	if slot.CompareAndSwap(nil, &p) {
+		return p
+	}
+	return *slot.Load()
 }
 
 // log2tiles returns lg(tiles) for a power-of-two tile count.
@@ -133,29 +138,79 @@ func log2tiles(tiles int) uint {
 	return d
 }
 
-// tileIndexMap returns a function mapping a tile position s in dst's
-// ordering to the corresponding tile position in src's ordering, or nil
-// when the orderings coincide (the streaming fast path of Section 4).
+// tileMap describes how a tile position s in the destination's ordering
+// maps to the corresponding position in a source's ordering — the
+// concrete, devirtualized form of the old per-tile closure, so the hot
+// tile loops of matEW2/matEW3 make no indirect calls.
 //
 // For Gray-Morton's two orientations the paper's half-step symmetry
 // applies: the mapping is a rotation by half the tile count, so the pre-
-// and post-additions run as two contiguous half-streams. For Hilbert the
-// mapping is a memoized permutation array ("global mapping arrays" in
-// Section 4); the added loop-control cost is one indexed load per tile.
-func tileIndexMap(dst, src Mat) func(int) int {
+// and post-additions run as two contiguous half-streams (tmRotate). For
+// Hilbert the mapping is a memoized permutation array ("global mapping
+// arrays" in Section 4, tmPerm); the loop-control cost is one indexed
+// load per tile.
+type tileMap struct {
+	mode uint8
+	half int     // tmRotate: rotation distance (= tiles²/2)
+	perm []int32 // tmPerm: memoized permutation
+}
+
+const (
+	tmIdent uint8 = iota
+	tmRotate
+	tmPerm
+)
+
+// resolveTileMap computes the dst→src tile mapping for two tiled Mats
+// of equal geometry on the same curve.
+func resolveTileMap(dst, src Mat) tileMap {
 	if dst.curve != src.curve {
 		panic("core: tile map across curves")
 	}
 	if dst.orient == src.orient {
-		return nil
+		return tileMap{mode: tmIdent}
 	}
 	if dst.curve == layout.GrayMorton {
 		half := dst.tiles * dst.tiles / 2
-		total := dst.tiles * dst.tiles
-		return func(s int) int { return (s + half) % total }
+		if half == 0 {
+			// A single tile: the half-rotation is the identity.
+			return tileMap{mode: tmIdent}
+		}
+		return tileMap{mode: tmRotate, half: half}
 	}
-	perm := permFor(dst.curve, dst.orient, src.orient, log2tiles(dst.tiles))
-	return func(s int) int { return int(perm[s]) }
+	return tileMap{mode: tmPerm,
+		perm: permFor(dst.curve, dst.orient, src.orient, log2tiles(dst.tiles))}
+}
+
+// at maps one destination tile position to its source position. This is
+// a direct (devirtualized) call; the streaming cores below avoid even
+// this per-tile switch on the common paths.
+func (m tileMap) at(s, total int) int {
+	switch m.mode {
+	case tmIdent:
+		return s
+	case tmRotate:
+		s += m.half
+		if s >= total {
+			s -= total
+		}
+		return s
+	default:
+		return int(m.perm[s])
+	}
+}
+
+// tileIndexMap is the closure form of resolveTileMap, retained as the
+// executable specification the inlined loops are tested against (nil
+// when the orderings coincide). Hot paths use resolveTileMap and the
+// ranged cores instead.
+func tileIndexMap(dst, src Mat) func(int) int {
+	m := resolveTileMap(dst, src)
+	if m.mode == tmIdent {
+		return nil
+	}
+	total := dst.tiles * dst.tiles
+	return func(s int) int { return m.at(s, total) }
 }
 
 // checkGeom panics unless the Mats have identical tile geometry.
@@ -212,71 +267,138 @@ func matZero(dst Mat) {
 	dst.dense().Zero()
 }
 
-// matEW2 applies a two-operand element-wise kernel (dst, a) over equal
-// geometry, e.g. dst += a. Orientation mismatches between tiled operands
-// are resolved through tileIndexMap; when the orientations coincide the
-// whole region is one contiguous stream and f runs once over it — the
-// "streaming through the memory hierarchy" case Section 4 highlights.
-// Canonical operands are walked column-by-column.
-func matEW2(dst, a Mat, f func(dst, a []float64)) {
-	checkGeom(dst, a)
-	if dst.tiledStore() != a.tiledStore() {
-		panic("core: mixed storage in element-wise op")
+// ew2Tiles applies a two-operand kernel over destination tiles [lo, hi)
+// of two tiled Mats, with the source resolved through m. The ranged
+// form is what the pool-parallel element-wise passes chunk over. The
+// identity case is one contiguous stream; the Gray-Morton rotation is
+// at most two contiguous segments (the half-step symmetry inlined as
+// direct arithmetic); only the Hilbert permutation pays a per-tile
+// indexed load — and none of them makes an indirect call in the loop.
+func ew2Tiles(dst, a Mat, m tileMap, lo, hi int, f func(dst, a []float64)) {
+	ts := dst.tileElems()
+	switch m.mode {
+	case tmIdent:
+		f(dst.data[lo*ts:hi*ts], a.data[lo*ts:hi*ts])
+	case tmRotate:
+		total := dst.tiles * dst.tiles
+		mid := total - m.half // where s+half wraps
+		if cut := min(hi, mid); lo < cut {
+			f(dst.data[lo*ts:cut*ts], a.data[(lo+m.half)*ts:(cut+m.half)*ts])
+		}
+		if cut := max(lo, mid); cut < hi {
+			off := m.half - total
+			f(dst.data[cut*ts:hi*ts], a.data[(cut+off)*ts:(hi+off)*ts])
+		}
+	default:
+		for s := lo; s < hi; s++ {
+			sa := int(m.perm[s])
+			f(dst.data[s*ts:s*ts+ts], a.data[sa*ts:sa*ts+ts])
+		}
 	}
-	if dst.tiledStore() {
-		idx := tileIndexMap(dst, a)
-		if idx == nil {
-			f(dst.data[:dst.elems()], a.data[:a.elems()])
-			return
-		}
-		ts := dst.tileElems()
-		nt := dst.tiles * dst.tiles
-		for s := 0; s < nt; s++ {
-			sa := idx(s)
-			f(dst.data[s*ts:(s+1)*ts], a.data[sa*ts:sa*ts+ts])
-		}
+}
+
+// ew3Tiles is the three-operand counterpart of ew2Tiles, with each
+// source resolved through its own map.
+func ew3Tiles(dst, a, b Mat, ma, mb tileMap, lo, hi int, f func(dst, a, b []float64)) {
+	ts := dst.tileElems()
+	if ma.mode == tmIdent && mb.mode == tmIdent {
+		f(dst.data[lo*ts:hi*ts], a.data[lo*ts:hi*ts], b.data[lo*ts:hi*ts])
 		return
 	}
-	rows, cols := dst.rows(), dst.cols()
-	for j := 0; j < cols; j++ {
+	total := dst.tiles * dst.tiles
+	if ma.mode != tmPerm && mb.mode != tmPerm {
+		// Rotations (and identities) only. Both rotations are by the
+		// same half (same curve, same tile count), so a single split at
+		// the wrap point leaves pieces where every operand is one
+		// contiguous stream at a constant offset.
+		mid := total / 2
+		seg := func(lo, hi int) {
+			if lo >= hi {
+				return
+			}
+			offA, offB := 0, 0
+			if ma.mode == tmRotate {
+				offA = ma.half
+				if lo >= mid {
+					offA -= total
+				}
+			}
+			if mb.mode == tmRotate {
+				offB = mb.half
+				if lo >= mid {
+					offB -= total
+				}
+			}
+			f(dst.data[lo*ts:hi*ts],
+				a.data[(lo+offA)*ts:(hi+offA)*ts],
+				b.data[(lo+offB)*ts:(hi+offB)*ts])
+		}
+		seg(lo, min(hi, mid))
+		seg(max(lo, mid), hi)
+		return
+	}
+	for s := lo; s < hi; s++ {
+		sa := ma.at(s, total)
+		sb := mb.at(s, total)
+		f(dst.data[s*ts:s*ts+ts], a.data[sa*ts:sa*ts+ts], b.data[sb*ts:sb*ts+ts])
+	}
+}
+
+// ew2Cols and ew3Cols are the ranged cores for canonical storage,
+// walking columns [lo, hi).
+func ew2Cols(dst, a Mat, lo, hi int, f func(dst, a []float64)) {
+	rows := dst.rows()
+	for j := lo; j < hi; j++ {
 		f(dst.data[j*dst.ld:j*dst.ld+rows], a.data[j*a.ld:j*a.ld+rows])
 	}
+}
+
+func ew3Cols(dst, a, b Mat, lo, hi int, f func(dst, a, b []float64)) {
+	rows := dst.rows()
+	for j := lo; j < hi; j++ {
+		f(dst.data[j*dst.ld:j*dst.ld+rows],
+			a.data[j*a.ld:j*a.ld+rows],
+			b.data[j*b.ld:j*b.ld+rows])
+	}
+}
+
+// checkEW validates an element-wise operand set: equal geometry, no
+// mixed storage.
+func checkEW(ms ...Mat) {
+	checkGeom(ms...)
+	for _, m := range ms[1:] {
+		if m.tiledStore() != ms[0].tiledStore() {
+			panic("core: mixed storage in element-wise op")
+		}
+	}
+}
+
+// matEW2 applies a two-operand element-wise kernel (dst, a) over equal
+// geometry, e.g. dst += a, on the calling goroutine. Orientation
+// mismatches between tiled operands are resolved through resolveTileMap;
+// when the orientations coincide the whole region is one contiguous
+// stream and f runs once over it — the "streaming through the memory
+// hierarchy" case Section 4 highlights. Canonical operands are walked
+// column-by-column. The pool-parallel form is exec.ew2.
+func matEW2(dst, a Mat, f func(dst, a []float64)) {
+	checkEW(dst, a)
+	if dst.tiledStore() {
+		ew2Tiles(dst, a, resolveTileMap(dst, a), 0, dst.tiles*dst.tiles, f)
+		return
+	}
+	ew2Cols(dst, a, 0, dst.cols(), f)
 }
 
 // matEW3 applies a three-operand element-wise kernel (dst, a, b) over
 // equal geometry, e.g. dst = a + b.
 func matEW3(dst, a, b Mat, f func(dst, a, b []float64)) {
-	checkGeom(dst, a, b)
-	if dst.tiledStore() != a.tiledStore() || dst.tiledStore() != b.tiledStore() {
-		panic("core: mixed storage in element-wise op")
-	}
+	checkEW(dst, a, b)
 	if dst.tiledStore() {
-		ia := tileIndexMap(dst, a)
-		ib := tileIndexMap(dst, b)
-		if ia == nil && ib == nil {
-			f(dst.data[:dst.elems()], a.data[:a.elems()], b.data[:b.elems()])
-			return
-		}
-		ts := dst.tileElems()
-		nt := dst.tiles * dst.tiles
-		for s := 0; s < nt; s++ {
-			sa, sb := s, s
-			if ia != nil {
-				sa = ia(s)
-			}
-			if ib != nil {
-				sb = ib(s)
-			}
-			f(dst.data[s*ts:(s+1)*ts], a.data[sa*ts:sa*ts+ts], b.data[sb*ts:sb*ts+ts])
-		}
+		ew3Tiles(dst, a, b, resolveTileMap(dst, a), resolveTileMap(dst, b),
+			0, dst.tiles*dst.tiles, f)
 		return
 	}
-	rows, cols := dst.rows(), dst.cols()
-	for j := 0; j < cols; j++ {
-		f(dst.data[j*dst.ld:j*dst.ld+rows],
-			a.data[j*a.ld:j*a.ld+rows],
-			b.data[j*b.ld:j*b.ld+rows])
-	}
+	ew3Cols(dst, a, b, 0, dst.cols(), f)
 }
 
 // newTemp allocates a scratch Mat with the same geometry as proto. For

@@ -3,11 +3,47 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/layout"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
+
+// tileCoordCache memoizes the inverse curve walk SInverse(s, d) for
+// every tile of a (curve, depth) grid: Pack and Unpack previously
+// re-evaluated the bit-interleaving per tile inside their chunk loops,
+// three times per GEMM call (A, B, C operand packs) plus once per
+// unpack. The table is computed once per (curve, depth) for the life of
+// the process and shared lock-free; each entry packs (ti, tj) as
+// ti<<16 | tj (tile coordinates fit 16 bits for any depth ≤ 16).
+// Depths beyond maxCoordDepth (a 1024×1024 tile grid, beyond any
+// realistic tiling choice) fall back to the direct per-tile walk.
+const maxCoordDepth = 10
+
+var tileCoordCache [8][maxCoordDepth + 1]atomic.Pointer[[]uint32]
+
+// tileCoords returns the memoized coordinate table for a (curve, depth)
+// grid, or nil when the grid is out of cache range.
+func tileCoords(cv layout.Curve, d uint) []uint32 {
+	if int(cv) >= len(tileCoordCache) || d > maxCoordDepth {
+		return nil
+	}
+	slot := &tileCoordCache[cv][d]
+	if p := slot.Load(); p != nil {
+		return *p
+	}
+	side := 1 << d
+	t := make([]uint32, side*side)
+	for s := range t {
+		ti, tj := cv.SInverse(uint64(s), d)
+		t[s] = ti<<16 | tj
+	}
+	if slot.CompareAndSwap(nil, &t) {
+		return t
+	}
+	return *slot.Load()
+}
 
 // Tiled is a matrix stored in a recursive layout: a 2^D × 2^D grid of
 // TR × TC column-major tiles, tiles ordered along Curve (equation (3) of
@@ -134,9 +170,16 @@ func (t *Tiled) Pack(ctx context.Context, pool *sched.Pool, src *matrix.Dense, t
 	}
 	side := 1 << t.D
 	ts := t.TR * t.TC
+	coords := tileCoords(t.Curve, t.D)
 	return runChunks(ctx, pool, side*side, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
-			ti, tj := t.Curve.SInverse(uint64(s), t.D)
+			var ti, tj uint32
+			if coords != nil {
+				pc := coords[s]
+				ti, tj = pc>>16, pc&0xffff
+			} else {
+				ti, tj = t.Curve.SInverse(uint64(s), t.D)
+			}
 			base := s * ts
 			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
 			for jj := 0; jj < t.TC; jj++ {
@@ -181,9 +224,16 @@ func (t *Tiled) Unpack(ctx context.Context, pool *sched.Pool, dst *matrix.Dense)
 	}
 	side := 1 << t.D
 	ts := t.TR * t.TC
+	coords := tileCoords(t.Curve, t.D)
 	return runChunks(ctx, pool, side*side, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
-			ti, tj := t.Curve.SInverse(uint64(s), t.D)
+			var ti, tj uint32
+			if coords != nil {
+				pc := coords[s]
+				ti, tj = pc>>16, pc&0xffff
+			} else {
+				ti, tj = t.Curve.SInverse(uint64(s), t.D)
+			}
 			base := s * ts
 			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
 			if i0 >= t.Rows || j0 >= t.Cols {

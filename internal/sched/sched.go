@@ -445,6 +445,29 @@ func (c *Ctx) WorkerSlot() *any {
 	return &c.w.slot
 }
 
+// WorkerID returns the executing worker's index in [0, Workers()), or
+// -1 for a Ctx not bound to a pool worker. A frame never migrates
+// workers — the help-first discipline keeps a suspended frame on the
+// goroutine of the worker that started it, which also runs any stolen
+// tasks to completion on top of it — so the value is stable for the
+// lifetime of one task frame. This is the hand-off the core scratch
+// arena uses to give each worker a private LIFO stack of temporaries.
+func (c *Ctx) WorkerID() int {
+	if c.w == nil {
+		return -1
+	}
+	return c.w.id
+}
+
+// Workers returns the size of the pool this frame runs on, or 1 for a
+// Ctx not bound to a pool (serial execution).
+func (c *Ctx) Workers() int {
+	if c.pool == nil {
+		return 1
+	}
+	return len(c.pool.workers)
+}
+
 // Account adds w units of serial work to the frame: both the work and
 // the span grow, since work inside a frame is sequential.
 func (c *Ctx) Account(w float64) {

@@ -593,6 +593,37 @@ func TestWorkerSlotUnboundCtx(t *testing.T) {
 	}
 }
 
+func TestWorkerIDAndWorkers(t *testing.T) {
+	var unbound Ctx
+	if id := unbound.WorkerID(); id != -1 {
+		t.Errorf("unbound WorkerID = %d, want -1", id)
+	}
+	if w := unbound.Workers(); w != 1 {
+		t.Errorf("unbound Workers = %d, want 1", w)
+	}
+	p := NewPool(3)
+	defer p.Close()
+	p.Run(func(c *Ctx) {
+		if w := c.Workers(); w != 3 {
+			t.Errorf("Workers = %d, want 3", w)
+		}
+		id := c.WorkerID()
+		if id < 0 || id >= 3 {
+			t.Errorf("WorkerID = %d, want in [0, 3)", id)
+		}
+		// Help-first scheduling: a frame never migrates, so the ID is
+		// stable across nested spawns within the same frame.
+		c.Parallel(func(c *Ctx) {
+			if cid := c.WorkerID(); cid < 0 || cid >= 3 {
+				t.Errorf("child WorkerID = %d, want in [0, 3)", cid)
+			}
+		})
+		if again := c.WorkerID(); again != id {
+			t.Errorf("WorkerID changed %d → %d within a frame", id, again)
+		}
+	})
+}
+
 // BenchmarkParallelSpawn guards the task-recycling pool: its allocs/op
 // is the scheduler's per-spawn allocation budget (join + child contexts
 // + closure bookkeeping; the task headers themselves are pooled).

@@ -112,6 +112,35 @@ func TestReportContents(t *testing.T) {
 	}
 }
 
+func TestReportArenaBytes(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(7))
+	A := Random(128, 128, rng)
+	B := Random(128, 128, rng)
+	C := NewMatrix(128, 128)
+	rep, err := eng.Mul(C, A, B, &Options{Layout: ZMorton, Algorithm: Strassen, ForceTile: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast algorithms reserve their whole temp tree up front; the report
+	// must surface the reservation and a zero heap spill.
+	if rep.ArenaBytes <= 0 {
+		t.Errorf("ArenaBytes = %d, want > 0", rep.ArenaBytes)
+	}
+	if rep.AllocBytes != 0 {
+		t.Errorf("AllocBytes = %d, want 0 (no arena fallback expected)", rep.AllocBytes)
+	}
+	// The standard algorithm needs no temporaries at all.
+	rep2, err := eng.Mul(C, A, B, &Options{Layout: ZMorton, Algorithm: Standard, ForceTile: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ArenaBytes != 0 {
+		t.Errorf("standard ArenaBytes = %d, want 0", rep2.ArenaBytes)
+	}
+}
+
 func TestParseHelpers(t *testing.T) {
 	if l, err := ParseLayout("z"); err != nil || l != ZMorton {
 		t.Fatal("ParseLayout failed")
