@@ -24,17 +24,26 @@ RECMAT_FAULTS ?= panic=0.002,alloc=0.005,delay=0.005/50us,seed=7
 stress:
 	RECMAT_FAULTS='$(RECMAT_FAULTS)' $(GO) test -race -count=3 -run 'Stress' . ./internal/core ./internal/sched
 
-# The perf-regression gate: re-measure the standard algorithm and fail
-# if its GFLOPS fall more than 10% below the committed BENCH_3.json
-# record. n=512 keeps the gate fast; reps are high because a cold
-# process needs several reps per point before page faults and heap
-# growth stop dominating. benchdiff rescales by the recorded host
-# yardstick to cancel clock-speed drift between measurement windows;
-# on shared/bursty hosts some residual noise remains, so treat a
-# failure as "re-run, then investigate", not proof of a regression.
+# The perf-regression gate: re-measure the standard algorithm and
+# compare against the committed BENCH_4.json record. Individual points
+# on a shared/bursty host swing ±30% between identical-code runs, so
+# the gate aggregates rather than failing per point: it fails when the
+# geometric-mean GFLOPS ratio regresses >10%, any single point
+# collapses >40% (the catastrophic floor), a point's conversion share
+# of end-to-end time grows >10 points (the amortized-conversion
+# guard), or the serve-prepacked/serve-percall speedup — measured
+# within one window, so host drift cancels — drops below 1.15x.
+# n=512 keeps the gate fast; reps are high because a cold process
+# needs several reps per point before page faults and heap growth stop
+# dominating. -noscale: the host yardstick is a single sample with the
+# same burst variance as any point, and rescaling by it injects a
+# coherent scale error into all points at once — exactly what the
+# geomean cannot average out. Same-host same-binary comparisons are
+# better off raw; keep rescaling for cross-host diffs. A failure still
+# warrants one re-run before treating it as a real regression.
 bench:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard
-	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -candidate /tmp/bench_head.json -alg standard -tol 0.10
+	$(GO) run ./cmd/benchdiff -baseline BENCH_4.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15
 
 # The kernel acceptance benchmark: packed kernels vs the paper's
 # unrolled4 at the default tile sizes.
@@ -46,4 +55,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_3.json
+	$(GO) run ./cmd/benchjson -o BENCH_4.json -reps 4

@@ -4,34 +4,68 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_3.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
+//	benchdiff -baseline BENCH_4.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
 //
-// Results are keyed on (n, algorithm, layout, kernel); only keys present
-// in both files are compared. With -alg set, the comparison is
-// restricted to that algorithm. The exit status is 1 if any compared
-// point's GFLOPS falls below baseline × (1 − tol).
+// Results are keyed on (n, mode, algorithm, layout, kernel); only keys
+// present in both files are compared (records from schema ≤2 files have
+// no mode and compare against mode-less candidates). With -alg set, the
+// comparison is restricted to that algorithm.
+//
+// Cross-file point-by-point comparison on a shared host is dominated by
+// burstiness (individual points swing ±30% between identical-code
+// runs), so the exit status aggregates. The gate fails (exit 1) when:
+//
+//   - the geometric mean of the candidate/baseline GFLOPS ratios across
+//     all compared points regresses more than -tol (noise averages out
+//     across points; a real slowdown does not), or
+//   - any single point regresses more than -pointtol — the
+//     catastrophic floor for a targeted regression hiding in an
+//     otherwise-green mean, or
+//   - a candidate point's conversion share of end-to-end time grew by
+//     more than -convtol (absolute) over the baseline's — catching a
+//     change that keeps GFLOPS afloat on compute improvements while
+//     quietly re-inflating the layout-conversion cost the amortization
+//     work removed (both records need convert_share, i.e. schema ≥2;
+//     schema-1 records are skipped by this gate), or
+//   - the candidate contains a serving-shape pair (modes serve-percall
+//     and serve-prepacked at the same n) whose prepacked speedup falls
+//     below -servemin. The two records share one measurement window, so
+//     this ratio is stable where cross-file points are not; it guards
+//     the amortized-conversion win directly.
+//
+// Points beyond -tol are still marked "!" in the listing for
+// investigation even when the aggregate gate passes.
 //
 // When both files carry the ref_gflops host yardstick (benchjson
 // schema 2), candidate GFLOPS are rescaled by baseline_ref/candidate_ref
 // before comparison: the yardstick moves with host clock speed exactly
 // like the benchmarked matmuls, so the rescaling cancels machine-speed
 // drift between the two measurement windows and leaves only real code
-// regressions. -noscale disables this.
+// regressions. -noscale disables this; prefer it for same-host
+// comparisons, where the yardstick's own single-sample burst variance
+// becomes a coherent scale error on every point — the one noise shape
+// the geomean gate cannot average out. Conversion shares are ratios of
+// same-host times and need no rescaling.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 )
 
 type result struct {
 	N         int     `json:"n"`
+	Mode      string  `json:"mode"`
 	Algorithm string  `json:"algorithm"`
 	Layout    string  `json:"layout"`
 	Kernel    string  `json:"kernel"`
 	GFLOPS    float64 `json:"gflops"`
+	// ConvertShare is a pointer so that schema-1 records (which predate
+	// the field) are distinguishable from a measured share of zero.
+	ConvertShare *float64 `json:"convert_share"`
 }
 
 type output struct {
@@ -41,11 +75,16 @@ type output struct {
 }
 
 type key struct {
-	n                         int
-	algorithm, layout, kernel string
+	n                               int
+	mode, algorithm, layout, kernel string
 }
 
-func load(path string) (map[key]float64, float64, error) {
+type point struct {
+	gflops       float64
+	convertShare *float64
+}
+
+func load(path string) (map[key]point, float64, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
@@ -54,18 +93,21 @@ func load(path string) (map[key]float64, float64, error) {
 	if err := json.Unmarshal(buf, &o); err != nil {
 		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
-	m := make(map[key]float64, len(o.Results))
+	m := make(map[key]point, len(o.Results))
 	for _, r := range o.Results {
-		m[key{r.N, r.Algorithm, r.Layout, r.Kernel}] = r.GFLOPS
+		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{r.GFLOPS, r.ConvertShare}
 	}
 	return m, o.RefGFLOPS, nil
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_3.json", "baseline benchjson file")
+	baseline := flag.String("baseline", "BENCH_4.json", "baseline benchjson file")
 	candidate := flag.String("candidate", "", "candidate benchjson file (required)")
 	alg := flag.String("alg", "", "restrict comparison to one algorithm (empty = all)")
-	tol := flag.Float64("tol", 0.10, "allowed fractional GFLOPS regression")
+	tol := flag.Float64("tol", 0.10, "allowed fractional regression of the geometric-mean GFLOPS ratio")
+	pointTol := flag.Float64("pointtol", 0.40, "allowed fractional regression of any single point (catastrophic floor)")
+	convTol := flag.Float64("convtol", 0.10, "allowed absolute growth in conversion share of total time")
+	serveMin := flag.Float64("servemin", 1.15, "required serve-prepacked / serve-percall speedup within the candidate (0 disables)")
 	noscale := flag.Bool("noscale", false, "disable host-yardstick rescaling")
 	flag.Parse()
 	if *candidate == "" {
@@ -84,36 +126,82 @@ func main() {
 			baseRef, candRef, scale)
 	}
 
-	compared, regressed := 0, 0
-	for k, bg := range base {
+	compared, failed := 0, 0
+	logRatioSum := 0.0
+	for k, bp := range base {
 		if *alg != "" && k.algorithm != *alg {
 			continue
 		}
-		cg, ok := cand[k]
-		if !ok || bg <= 0 {
+		cp, ok := cand[k]
+		if !ok || bp.gflops <= 0 {
 			continue
 		}
-		cg *= scale
+		cg := cp.gflops * scale
 		compared++
-		delta := cg/bg - 1
+		ratio := cg / bp.gflops
+		logRatioSum += math.Log(ratio)
 		mark := " "
-		if cg < bg*(1-*tol) {
-			regressed++
+		if ratio < 1-*pointTol {
+			failed++
 			mark = "!"
+		} else if ratio < 1-*tol {
+			mark = "!" // informational: beyond -tol but not gating on its own
 		}
-		fmt.Printf("%s n=%-5d %-9s %-11s %-10s %6.2f -> %6.2f GFLOPS (%+5.1f%%)\n",
-			mark, k.n, k.algorithm, k.layout, k.kernel, bg, cg, 100*delta)
+		convNote := ""
+		if bp.convertShare != nil && cp.convertShare != nil {
+			if dshare := *cp.convertShare - *bp.convertShare; dshare > *convTol {
+				failed++
+				mark = "!"
+				convNote = fmt.Sprintf("  convert share %4.1f%% -> %4.1f%%", 100**bp.convertShare, 100**cp.convertShare)
+			}
+		}
+		mode := k.mode
+		if mode == "" {
+			mode = "percall"
+		}
+		fmt.Printf("%s n=%-5d %-15s %-9s %-11s %-10s %6.2f -> %6.2f GFLOPS (%+5.1f%%)%s\n",
+			mark, k.n, mode, k.algorithm, k.layout, k.kernel, bp.gflops, cg, 100*(ratio-1), convNote)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no comparable results (key mismatch?)")
 		os.Exit(2)
 	}
-	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d/%d points regressed more than %.0f%%\n",
-			regressed, compared, 100**tol)
+	geo := math.Exp(logRatioSum / float64(compared))
+	fmt.Printf("geometric-mean GFLOPS ratio over %d points: %.3f\n", compared, geo)
+	if geo < 1-*tol {
+		failed++
+		fmt.Fprintf(os.Stderr, "benchdiff: geometric mean regressed %.1f%% (tol %.0f%%)\n", 100*(1-geo), 100**tol)
+	}
+
+	// Serving-shape gate: the prepacked/percall ratio is computed within one
+	// measurement window of the candidate, so host drift cancels.
+	if *serveMin > 0 {
+		for k, pp := range cand {
+			if k.mode != "serve-prepacked" {
+				continue
+			}
+			pcKey := k
+			pcKey.mode = "serve-percall"
+			pc, ok := cand[pcKey]
+			if !ok || pc.gflops <= 0 {
+				continue
+			}
+			speedup := pp.gflops / pc.gflops
+			fmt.Printf("  n=%-5d serve speedup %.2fx (floor %.2fx)\n", k.n, speedup, *serveMin)
+			if speedup < *serveMin {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchdiff: serve speedup %.2fx at n=%d below floor %.2fx\n", speedup, k.n, *serveMin)
+			}
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (%d gate violation(s); geomean tol %.0f%%, point floor %.0f%%, convert-share tol %.0f pts)\n",
+			failed, 100**tol, 100**pointTol, 100**convTol)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d points within %.0f%% of baseline\n", compared, 100**tol)
+	fmt.Printf("benchdiff: PASS (%d points; geomean tol %.0f%%, point floor %.0f%%, convert share %.0f pts)\n",
+		compared, 100**tol, 100**pointTol, 100**convTol)
 }
 
 func die(err error) {

@@ -1,12 +1,13 @@
 // benchjson measures end-to-end GFLOPS for every {algorithm, layout,
 // kernel} combination at fixed problem sizes and writes the results as
 // JSON — the machine-readable record of the repo's performance
-// trajectory (BENCH_3.json at the repo root is its committed output).
+// trajectory (BENCH_4.json at the repo root is its committed output).
 //
 // Usage:
 //
-//	benchjson [-o BENCH_3.json] [-sizes 512,1024] [-reps 2]
+//	benchjson [-o BENCH_4.json] [-sizes 512,1024] [-reps 2]
 //	          [-algs standard,strassen,winograd] [-kernels unrolled4,blocked,packed8x4,auto]
+//	          [-serve-b 48] [-serve-layout hilbert]
 //
 // GFLOPS are computed from 2n³ over the end-to-end time (conversion
 // included), so layouts pay for their format conversions — the honest
@@ -16,9 +17,19 @@
 // the arena, so allocs_per_op measures only the per-call fixed costs
 // (packed operand buffers, scheduler bookkeeping), not a per-node
 // temp-tree churn.
+//
+// Schema 3 adds the amortized-conversion telemetry: per-record
+// conversion seconds and bytes plus the pack-reuse and buffer-pool
+// counters, and a serving-shape sweep (mode "serve-percall" vs
+// "serve-prepacked") — a fixed n×n A multiplied by a stream of skinny
+// n×b right-hand sides, once paying A's conversion per call and once
+// with A prepacked so each call converts only B and the C epilogue.
+// The per-stream flop count 2n²b is tiny next to A's conversion, so
+// this is the shape where amortization matters most.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +44,12 @@ import (
 )
 
 type result struct {
-	N         int    `json:"n"`
+	N int `json:"n"`
+	// Mode distinguishes the sweeps: "" is the square per-call GEMM
+	// sweep (schema ≤2 compatible); "serve-percall" and
+	// "serve-prepacked" are the serving-shape records, whose GFLOPS come
+	// from 2n²b per streamed right-hand side.
+	Mode      string `json:"mode,omitempty"`
 	Algorithm string `json:"algorithm"`
 	Layout    string `json:"layout"`
 	Kernel    string `json:"kernel"`
@@ -44,12 +60,38 @@ type result struct {
 	GFLOPS        float64 `json:"gflops"`
 	ComputeGFLOPS float64 `json:"compute_gflops"`
 	ConvertShare  float64 `json:"convert_share"`
+	// Conversion telemetry (schema 3): wall time into and out of the
+	// recursive layout, bytes moved by conversions, operand packs served
+	// from an existing in-layout buffer (symmetric fold or prepacked
+	// plan), and tiled-buffer pool traffic.
+	ConvertInSeconds  float64 `json:"convert_in_seconds"`
+	ConvertOutSeconds float64 `json:"convert_out_seconds"`
+	ConvertBytes      int64   `json:"convert_bytes"`
+	PackReused        int     `json:"pack_reused"`
+	PoolHits          int     `json:"pool_hits"`
+	PoolMisses        int     `json:"pool_misses"`
 	// ArenaBytes is the scratch-arena reservation of the best rep;
 	// AllocsPerOp / AllocBytesPerOp are the whole-process heap deltas
 	// (runtime.MemStats Mallocs / TotalAlloc) around that rep's Mul call.
 	ArenaBytes      int64  `json:"arena_bytes"`
 	AllocsPerOp     uint64 `json:"allocs_per_op"`
 	AllocBytesPerOp uint64 `json:"alloc_bytes_per_op"`
+}
+
+// fill copies a Report's telemetry into the record.
+func (r *result) fill(rep *recmat.Report, flops float64) {
+	r.KernelRan = rep.Kernel
+	r.TotalSeconds = rep.Total().Seconds()
+	r.GFLOPS = flops / rep.Total().Seconds() / 1e9
+	r.ComputeGFLOPS = flops / rep.Compute.Seconds() / 1e9
+	r.ConvertShare = float64(rep.ConvertIn+rep.ConvertOut) / float64(rep.Total())
+	r.ConvertInSeconds = rep.ConvertIn.Seconds()
+	r.ConvertOutSeconds = rep.ConvertOut.Seconds()
+	r.ConvertBytes = rep.ConvertBytes
+	r.PackReused = rep.PackReused
+	r.PoolHits = rep.PoolHits
+	r.PoolMisses = rep.PoolMisses
+	r.ArenaBytes = rep.ArenaBytes
 }
 
 type output struct {
@@ -103,7 +145,7 @@ func refGFLOPS() float64 {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_4.json", "output file (- for stdout)")
 	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
 	algsFlag := flag.String("algs", "standard,strassen,winograd", "comma-separated algorithms")
 	kernelsFlag := flag.String("kernels", "unrolled4,blocked,packed8x4,auto", "comma-separated kernels (auto = autotuned)")
@@ -111,6 +153,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
 	reps := flag.Int("reps", 2, "repetitions per point (best is kept)")
 	seed := flag.Int64("seed", 1, "random seed")
+	serveB := flag.Int("serve-b", 48, "right-hand-side width for the serving-shape sweep (0 disables)")
+	serveLayout := flag.String("serve-layout", "hilbert", "layout for the serving-shape sweep")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -141,7 +185,7 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:    2,
+		Schema:    3,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
@@ -179,24 +223,29 @@ func main() {
 							bestBytes = ms1.TotalAlloc - ms0.TotalAlloc
 						}
 					}
-					r := result{
-						N:               n,
-						Algorithm:       alg.String(),
-						Layout:          lo.String(),
-						Kernel:          kn,
-						KernelRan:       best.Kernel,
-						TotalSeconds:    best.Total().Seconds(),
-						GFLOPS:          flops / best.Total().Seconds() / 1e9,
-						ComputeGFLOPS:   flops / best.Compute.Seconds() / 1e9,
-						ConvertShare:    float64(best.ConvertIn+best.ConvertOut) / float64(best.Total()),
-						ArenaBytes:      best.ArenaBytes,
-						AllocsPerOp:     bestAllocs,
-						AllocBytesPerOp: bestBytes,
-					}
+					r := result{N: n, Algorithm: alg.String(), Layout: lo.String(), Kernel: kn,
+						AllocsPerOp: bestAllocs, AllocBytesPerOp: bestBytes}
+					r.fill(best, flops)
 					o.Results = append(o.Results, r)
 					fmt.Fprintf(os.Stderr, "n=%-5d %-9s %-11s %-10s %6.2f GFLOPS %8d allocs/op (ran %s)\n",
 						n, r.Algorithm, r.Layout, r.Kernel, r.GFLOPS, r.AllocsPerOp, r.KernelRan)
 				}
+			}
+		}
+	}
+
+	if *serveB > 0 {
+		lo, err := recmat.ParseLayout(*serveLayout)
+		die(err)
+		for _, n := range sizes {
+			pc, pp := serveBench(eng, n, *serveB, lo, *reps, *seed)
+			o.Results = append(o.Results, pc, pp)
+			for _, r := range []result{pc, pp} {
+				fmt.Fprintf(os.Stderr, "n=%-5d %-16s %-11s %6.2f GFLOPS convert %4.0f%% %8d allocs/op\n",
+					n, r.Mode, r.Layout, r.GFLOPS, 100*r.ConvertShare, r.AllocsPerOp)
+			}
+			if pc.GFLOPS > 0 {
+				fmt.Fprintf(os.Stderr, "n=%-5d serve speedup: %.2fx\n", n, pp.GFLOPS/pc.GFLOPS)
 			}
 		}
 	}
@@ -209,6 +258,83 @@ func main() {
 		return
 	}
 	die(os.WriteFile(*out, buf, 0o644))
+}
+
+// serveBench measures the serving pattern at one size: a fixed n×n A
+// against a stream of skinny n×b right-hand sides. The per-call record
+// re-converts A on every stream (what a caller without plans pays); the
+// prepacked record converts A once outside the timed region and then
+// pays only the conforming pack of each streamed B plus the C epilogue.
+// Each stream's wall time includes everything the caller would do per
+// arriving B — for the prepacked mode that is PrepackConforming +
+// GEMMPrepacked + Release. The best stream of each mode is recorded.
+func serveBench(eng *recmat.Engine, n, b int, lo recmat.Layout, reps int, seed int64) (percall, prepacked result) {
+	rng := rand.New(rand.NewSource(seed))
+	A := recmat.Random(n, n, rng)
+	B := recmat.Random(n, b, rng)
+	C := recmat.NewMatrix(n, b)
+	opts := &recmat.Options{Layout: lo, Algorithm: recmat.Standard}
+	flops := 2 * float64(n) * float64(n) * float64(b)
+	streams := reps
+	if streams < 3 {
+		streams = 3
+	}
+
+	percall = result{N: n, Mode: "serve-percall", Algorithm: "standard", Layout: lo.String(), Kernel: "auto"}
+	var best *recmat.Report
+	var bestAllocs, bestBytes uint64
+	var ms0, ms1 runtime.MemStats
+	for s := 0; s < streams+1; s++ { // +1: first stream is warmup
+		runtime.ReadMemStats(&ms0)
+		rep, err := eng.Mul(C, A, B, opts)
+		runtime.ReadMemStats(&ms1)
+		die(err)
+		if s == 0 {
+			continue
+		}
+		if best == nil || rep.Total() < best.Total() {
+			best = rep
+			bestAllocs = ms1.Mallocs - ms0.Mallocs
+			bestBytes = ms1.TotalAlloc - ms0.TotalAlloc
+		}
+	}
+	percall.fill(best, flops)
+	percall.AllocsPerOp, percall.AllocBytesPerOp = bestAllocs, bestBytes
+
+	prepacked = result{N: n, Mode: "serve-prepacked", Algorithm: "standard", Layout: lo.String(), Kernel: "auto"}
+	paOpts := *opts
+	paOpts.PartnerDim = b // the plan will serve n×b streams
+	pa, err := eng.Prepack(A, false, &paOpts)
+	die(err)
+	defer pa.Release()
+	bestWall := time.Duration(1 << 62)
+	for s := 0; s < streams+1; s++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		pb, err := eng.PrepackConforming(B, false, opts, pa)
+		die(err)
+		rep, err := eng.GEMMPrepacked(context.Background(), 1, pa, pb, 0, C)
+		pb.Release()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		die(err)
+		if s == 0 {
+			continue
+		}
+		if wall < bestWall {
+			bestWall = wall
+			prepacked.fill(rep, flops)
+			// Wall-clock accounting: the streamed B's conforming pack
+			// happens outside the Report, so rebase the end-to-end
+			// numbers on the measured stream time.
+			prepacked.TotalSeconds = wall.Seconds()
+			prepacked.GFLOPS = flops / wall.Seconds() / 1e9
+			prepacked.ConvertShare = (rep.ConvertIn + rep.ConvertOut).Seconds() / wall.Seconds()
+			prepacked.AllocsPerOp = ms1.Mallocs - ms0.Mallocs
+			prepacked.AllocBytesPerOp = ms1.TotalAlloc - ms0.TotalAlloc
+		}
+	}
+	return percall, prepacked
 }
 
 func splitList(s string) []string {

@@ -1,6 +1,7 @@
 package recmat_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -43,6 +44,46 @@ func ExampleEngine_DGEMM() {
 	}
 	fmt.Println("correct:", recmat.Equal(C, want, 1e-11))
 	// Output: correct: true
+}
+
+// ExampleEngine_Prepack amortizes layout conversion over a stream of
+// multiplications: the fixed operand is converted once into a Plan,
+// each streamed right-hand side is packed conforming to it, and the
+// per-call conversion drops to the C epilogue alone.
+func ExampleEngine_Prepack() {
+	eng := recmat.NewEngine(2)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(4))
+	n, b := 128, 16
+	W := recmat.Random(n, n, rng)
+	opts := &recmat.Options{Layout: recmat.Hilbert, PartnerDim: b}
+	pw, err := eng.Prepack(W, false, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer pw.Release()
+
+	ok, reusedConversion := true, true
+	for stream := 0; stream < 3; stream++ {
+		B := recmat.Random(n, b, rng)
+		pb, err := eng.PrepackConforming(B, false, opts, pw)
+		if err != nil {
+			panic(err)
+		}
+		C := recmat.NewMatrix(n, b)
+		rep, err := eng.GEMMPrepacked(context.Background(), 1, pw, pb, 0, C)
+		pb.Release()
+		if err != nil {
+			panic(err)
+		}
+		want := recmat.NewMatrix(n, b)
+		recmat.RefGEMM(false, false, 1, W, B, 0, want)
+		ok = ok && recmat.Equal(C, want, 1e-11)
+		// Every operand pack was served by the plans, none re-converted.
+		reusedConversion = reusedConversion && rep.PackReused > 0
+	}
+	fmt.Println("correct:", ok, "conversion amortized:", reusedConversion)
+	// Output: correct: true conversion amortized: true
 }
 
 // ExampleEngine_Cholesky factors an SPD matrix and verifies L·Lᵀ = A.

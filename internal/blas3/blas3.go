@@ -37,6 +37,14 @@ func gemm(pool *sched.Pool, o core.Options, transA, transB bool, alpha float64,
 // (trans == true), exploiting symmetry: only the products above the
 // block diagonal are computed with GEMM, and the mirror blocks are
 // copied. C must be square and is fully updated (both triangles).
+//
+// The diagonal base case gemm(trans, !trans, α, A, A, β, C) presents
+// both operand slots as the same storage with opposite trans flags; the
+// core driver detects this and serves the second operand by transposing
+// the first pack inside the layout (Stats.PackReused), so each diagonal
+// block pays one conversion, not two. The off-diagonal GEMMs draw their
+// packed buffers from the core's recycling pool, as do Cholesky's and
+// LU's — repeated factorizations allocate their tiled buffers once.
 func SYRK(pool *sched.Pool, o core.Options, trans bool, alpha float64, A *matrix.Dense, beta float64, C *matrix.Dense) error {
 	n := A.Rows
 	if trans {

@@ -55,11 +55,21 @@ func ladderFor(a Alg) []rung {
 // stacks (one per worker, or one when serial). Admission therefore
 // accounts the arena with one reservation, and a configuration that
 // admits will not heap-allocate temporaries in steady state.
-func estimateBytes(alg Alg, workers, mp, kp, np, tm, tk, tn, fastCutoff int, serial bool) int64 {
+//
+// A buffer recycled from the pool is exactly as resident as a fresh
+// one, so pool hits are charged at full size. Only operands owned by a
+// *Prepacked* plan are exempt (resident=true): the plan allocated them
+// once, outside this call, and they stay live regardless of admission's
+// verdict — charging them again would double-count and make a budget
+// that admitted the prepack reject the multiplications it was built for.
+func estimateBytes(alg Alg, workers, mp, kp, np, tm, tk, tn, fastCutoff int, serial, resident bool) int64 {
 	ab := int64(mp) * int64(kp)
 	bb := int64(kp) * int64(np)
 	cb := int64(mp) * int64(np)
 	packed := ab + bb + cb
+	if resident {
+		packed = cb
+	}
 	stacks := int64(workers)
 	if serial {
 		stacks = 1
@@ -91,17 +101,17 @@ func fmtBytes(b int64) string {
 // along with the estimate and a human-readable note per degradation.
 // When no rung fits, it returns ErrMemBudget — admission control
 // rejects the call before any allocation.
-func admit(o Options, workers, mp, kp, np, tm, tk, tn int) (Alg, bool, int64, []string, error) {
+func admit(o Options, workers, mp, kp, np, tm, tk, tn int, resident bool) (Alg, bool, int64, []string, error) {
 	ladder := ladderFor(o.Alg)
 	requested := ladder[0]
-	est := estimateBytes(requested.alg, workers, mp, kp, np, tm, tk, tn, o.FastCutoff, requested.serial)
+	est := estimateBytes(requested.alg, workers, mp, kp, np, tm, tk, tn, o.FastCutoff, requested.serial, resident)
 	if o.MemBudget <= 0 || est <= o.MemBudget {
 		return requested.alg, requested.serial, est, nil, nil
 	}
 	var notes []string
 	prev, prevEst := requested, est
 	for _, r := range ladder[1:] {
-		e := estimateBytes(r.alg, workers, mp, kp, np, tm, tk, tn, o.FastCutoff, r.serial)
+		e := estimateBytes(r.alg, workers, mp, kp, np, tm, tk, tn, o.FastCutoff, r.serial, resident)
 		notes = append(notes, fmt.Sprintf("mem-budget: %v%s estimated %s > budget %s; degraded to %v%s (estimated %s)",
 			prev.alg, serialTag(prev.serial), fmtBytes(prevEst), fmtBytes(o.MemBudget),
 			r.alg, serialTag(r.serial), fmtBytes(e)))

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/matrix"
+)
+
+// This file implements the size-classed recycling pool for the packed
+// operand buffers — the tiled (and padded canonical) copies a block
+// multiplication materializes on every call. Section 4's honest
+// accounting counts the conversion *time*; before this pool the driver
+// also paid the conversion *allocation* in full per call: three fresh
+// buffers (~32 MB each at n=2048) whose make() zeroing, page faults,
+// and eventual collection dominate the conversion cost for repeated
+// multiplications. Buffers are recycled through sync.Pool instances
+// keyed by power-of-two element-count classes, extending the PR-3
+// AllocsPerRun discipline from the recursion's temporaries (the scratch
+// arena) to the packed operands: steady-state repeated GEMM of a fixed
+// shape allocates nothing.
+//
+// Memory accounting: a pooled buffer is exactly as resident as a fresh
+// one, so estimateBytes charges acquired buffers at full size whether
+// they hit or miss the pool; only operands owned by a *Prepacked* plan
+// (allocated once, outside the call) are exempt (the resident flag).
+
+// bufMinClass is the smallest pooled class: 1<<12 = 4096 elements
+// (32 KiB). Smaller buffers are cheap to allocate and would crowd the
+// pool with fragments.
+const bufMinClass = 12
+
+// bufMaxClass caps pooling at 1<<30 elements (8 GiB); anything larger
+// falls through to plain allocation.
+const bufMaxClass = 30
+
+var bufPools [bufMaxClass + 1]sync.Pool
+
+// bufClass returns the pool class for n elements: the smallest power of
+// two ≥ max(n, 1<<bufMinClass), expressed as its exponent.
+func bufClass(n int) int {
+	c := bufMinClass
+	for (1 << c) < n {
+		c++
+	}
+	return c
+}
+
+// getBuf returns a dirty []float64 of length n, recycled when a buffer
+// of n's size class is pooled. The second result reports a pool hit.
+// Callers must fully overwrite the contents (Pack does) or zero them
+// (the fused C epilogue does) before reading.
+func getBuf(n int) ([]float64, bool) {
+	if n == 0 {
+		return nil, false
+	}
+	c := bufClass(n)
+	if c > bufMaxClass {
+		return make([]float64, n), false
+	}
+	if p, _ := bufPools[c].Get().(*[]float64); p != nil {
+		return (*p)[:n], true
+	}
+	return make([]float64, n, 1<<c), false
+}
+
+// putBuf returns a buffer to its size-class pool. Only buffers whose
+// capacity is exactly a pooled class are accepted (everything getBuf
+// hands out qualifies); foreign slices are left to the collector.
+func putBuf(b []float64) {
+	if b == nil {
+		return
+	}
+	b = b[:cap(b)]
+	c := bufClass(len(b))
+	if c < bufMinClass || c > bufMaxClass || len(b) != 1<<c {
+		return
+	}
+	bufPools[c].Put(&b)
+}
+
+// notePool records a pool outcome in the call's Stats (nil-safe).
+func notePool(stats *Stats, hit bool) {
+	if stats == nil {
+		return
+	}
+	if hit {
+		stats.PoolHits++
+	} else {
+		stats.PoolMisses++
+	}
+}
+
+// acquireTiled builds a tiled matrix over a recycled buffer. The
+// contents are dirty; Pack overwrites every element (padding included),
+// and the fused epilogue zero-fills, so no caller observes stale data.
+func acquireTiled(stats *Stats, curve layout.Curve, d uint, tr, tc, rows, cols int) *Tiled {
+	side := 1 << d
+	b, hit := getBuf(side * side * tr * tc)
+	notePool(stats, hit)
+	return &Tiled{Curve: curve, D: d, TR: tr, TC: tc, Rows: rows, Cols: cols, Data: b}
+}
+
+// releaseTiled returns a tiled matrix's buffer to the pool. The Tiled
+// must not be used afterwards.
+func releaseTiled(t *Tiled) {
+	if t != nil {
+		putBuf(t.Data)
+		t.Data = nil
+	}
+}
+
+// acquirePadded builds a contiguous rows×cols column-major matrix over
+// a recycled (dirty) buffer — the canonical-layout counterpart of
+// acquireTiled, used for the padded L_C operands.
+func acquirePadded(stats *Stats, rows, cols int) *matrix.Dense {
+	b, hit := getBuf(rows * cols)
+	notePool(stats, hit)
+	s := rows
+	if s == 0 {
+		s = 1
+	}
+	return &matrix.Dense{Rows: rows, Cols: cols, Stride: s, Data: b}
+}
+
+// releasePadded returns a padded canonical buffer to the pool.
+func releasePadded(m *matrix.Dense) {
+	if m != nil {
+		putBuf(m.Data)
+		m.Data = nil
+	}
+}

@@ -54,6 +54,16 @@ type Options struct {
 	// DisableSplit turns off the wide/lean submatrix decomposition of
 	// Figure 3, forcing a single (possibly heavily padded) tiling.
 	DisableSplit bool
+	// PartnerDim, when positive, tells Prepack the expected free
+	// dimension of future multiplication partners (e.g. the width b of
+	// the streamed right-hand sides a plan will serve). It enters the
+	// wide/lean split exactly as the third dimension does in a direct
+	// GEMM, so a square operand prepacked for skinny partners splits
+	// into the same squat blocks a direct call would use — without it, a
+	// plan assumes partners its own size, and its deep monolithic grid
+	// forces heavy padding on a skinny partner's free dimension.
+	// Ignored outside Prepack.
+	PartnerDim int
 	// MemBudget, when positive, is an admission-control cap in bytes on
 	// the estimated footprint of each block multiplication (packed
 	// operands + algorithm temporaries + per-worker kernel scratch).
@@ -138,6 +148,21 @@ type Stats struct {
 	// indicates transient over-subscription of a worker's arena stack
 	// under work stealing, or a declined reservation.
 	AllocBytes int64
+	// ConvertBytes counts the packed bytes the call actually converted:
+	// operand buffers filled from (or, for the fused epilogue,
+	// accumulated back into) column-major storage. Prepacked operands
+	// contribute nothing, so a plan-reusing call reports ≈ 0 here —
+	// Section 4's conversion accounting, in bytes rather than seconds.
+	ConvertBytes int64
+	// PackReused counts operand packs satisfied without reading the
+	// column-major source: blocks served by a *Prepacked* plan, and
+	// second operands derived in-layout from the first (the transposed
+	// pack a symmetric α·A·Aᵀ product folds).
+	PackReused int
+	// PoolHits and PoolMisses count tiled-buffer recycling-pool
+	// outcomes for the buffers this call acquired; in steady state
+	// repeated calls of one shape report PoolMisses == 0.
+	PoolHits, PoolMisses int
 }
 
 // Total returns the end-to-end wall time.
@@ -222,8 +247,16 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	}
 
 	// β scaling happens once, up front, on the logical C; every block
-	// product then accumulates α·A_ij·B_jl into it.
-	C.Scale(beta)
+	// product then accumulates α·A_ij·B_jl into it. Large matrices are
+	// scaled in parallel column chunks across the pool instead of a
+	// serial full-matrix pass on the caller's goroutine.
+	if C.Rows*C.Cols >= ewParMin && pool.Workers() > 1 {
+		if serr := scaleCols(pool, C, beta); serr != nil {
+			return nil, fmt.Errorf("core: GEMM beta scale: %w", serr)
+		}
+	} else {
+		C.Scale(beta)
+	}
 	if alpha == 0 || m == 0 || n == 0 {
 		return &Stats{}, nil
 	}
@@ -350,7 +383,7 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	if err != nil {
 		return err
 	}
-	alg, serial, est, notes, err := admit(o, pool.Workers(), mp, kp, np, tm, tk, tn)
+	alg, serial, est, notes, err := admit(o, pool.Workers(), mp, kp, np, tm, tk, tn, false)
 	if err != nil {
 		return err
 	}
@@ -402,6 +435,15 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	return err
 }
 
+// sameView reports whether two operand views alias the same storage
+// with identical geometry — the pattern a symmetric product (SYRK's
+// GEMM over one matrix in both slots with opposite trans flags)
+// presents to the driver.
+func sameView(a, b *matrix.Dense) bool {
+	return a.Rows == b.Rows && a.Cols == b.Cols && a.Stride == b.Stride &&
+		len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
 func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e *exec, stats *Stats,
 	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
@@ -411,19 +453,40 @@ func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e
 		}
 		return x.Rows, x.Cols
 	}
+	// Operands are packed UNSCALED (alpha rides in the fused epilogue)
+	// into recycled buffers; C is not packed at all — the product
+	// accumulates into a zero-filled tiled buffer and folds back with
+	// UnpackAccumulate, so C is read and written once instead of
+	// read+pack+unpack. Buffers return to the pool even on failure:
+	// every parallel pass below drains its tasks before returning.
 	t0 := time.Now()
 	ar, ac := opDims(Av, transA)
-	ta := NewTiled(o.Curve, d, tm, tk, ar, ac)
-	if err := ta.Pack(ctx, pool, Av, transA, alpha); err != nil {
+	ta := acquireTiled(stats, o.Curve, d, tm, tk, ar, ac)
+	defer releaseTiled(ta)
+	if err := ta.Pack(ctx, pool, Av, transA, 1); err != nil {
 		return err
 	}
 	br, bc := opDims(Bv, transB)
-	tb := NewTiled(o.Curve, d, tk, tn, br, bc)
-	if err := tb.Pack(ctx, pool, Bv, transB, 1); err != nil {
-		return err
+	tb := acquireTiled(stats, o.Curve, d, tk, tn, br, bc)
+	defer releaseTiled(tb)
+	if sameView(Av, Bv) && transA != transB && tm == tn {
+		// op(B) is exactly op(A)ᵀ: derive the second packed operand from
+		// the first inside the recursive layout instead of re-reading the
+		// strided column-major source (the SYRK double-pack fold).
+		if err := tb.PackTransposeOf(ctx, pool, ta); err != nil {
+			return err
+		}
+		stats.PackReused++
+		stats.ConvertBytes += 8 * int64(len(ta.Data))
+	} else {
+		if err := tb.Pack(ctx, pool, Bv, transB, 1); err != nil {
+			return err
+		}
+		stats.ConvertBytes += 8 * int64(len(ta.Data)+len(tb.Data))
 	}
-	tc := NewTiled(o.Curve, d, tm, tn, Cv.Rows, Cv.Cols)
-	if err := tc.Pack(ctx, pool, Cv, false, 1); err != nil {
+	tc := acquireTiled(stats, o.Curve, d, tm, tn, Cv.Rows, Cv.Cols)
+	defer releaseTiled(tc)
+	if err := zeroFill(ctx, pool, tc.Data); err != nil {
 		return err
 	}
 	stats.ConvertIn += time.Since(t0)
@@ -437,36 +500,49 @@ func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e
 		stats.Span = span
 	}
 	if err != nil {
-		// The packed result is incomplete; leave Cv untouched.
+		// The packed product is incomplete; Cv is untouched — still
+		// exactly the β-scaled input for this block.
 		return err
 	}
 
 	t2 := time.Now()
-	if err := tc.Unpack(ctx, pool, Cv); err != nil {
+	// The epilogue accumulates under a background context: once it
+	// starts, a cancellation must not leave the block half-applied (the
+	// β-scaled-or-complete contract); the pass is one bounded sweep.
+	if err := tc.UnpackAccumulate(context.Background(), pool, Cv, alpha); err != nil {
 		return err
 	}
 	stats.ConvertOut += time.Since(t2)
+	stats.ConvertBytes += 8 * int64(len(tc.Data))
 	return nil
 }
 
 func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, stats *Stats,
 	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
+	// Same fused-epilogue discipline as blockRecursive: recycled padded
+	// buffers, unscaled operand packs (packPadded overwrites every
+	// element, padding included, so dirty buffers are safe), a zero-filled
+	// C, and the α·accumulate folded into the unpack.
 	mp, kp, np := tm<<d, tk<<d, tn<<d
 	t0 := time.Now()
-	ap := matrix.New(mp, kp)
-	if err := packPadded(ctx, pool, ap, Av, transA, alpha); err != nil {
+	ap := acquirePadded(stats, mp, kp)
+	defer releasePadded(ap)
+	if err := packPadded(ctx, pool, ap, Av, transA, 1); err != nil {
 		return err
 	}
-	bp := matrix.New(kp, np)
+	bp := acquirePadded(stats, kp, np)
+	defer releasePadded(bp)
 	if err := packPadded(ctx, pool, bp, Bv, transB, 1); err != nil {
 		return err
 	}
-	cp := matrix.New(mp, np)
-	if err := packPadded(ctx, pool, cp, Cv, false, 1); err != nil {
+	cp := acquirePadded(stats, mp, np)
+	defer releasePadded(cp)
+	if err := zeroFill(ctx, pool, cp.Data); err != nil {
 		return err
 	}
 	stats.ConvertIn += time.Since(t0)
+	stats.ConvertBytes += 8 * int64(len(ap.Data)+len(bp.Data))
 
 	mk := func(x *matrix.Dense, tr, tc int) Mat {
 		return Mat{data: x.Data, tiles: 1 << d, tr: tr, tc: tc, ld: x.Stride, curve: layout.ColMajor}
@@ -480,15 +556,18 @@ func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, sta
 		stats.Span = span
 	}
 	if err != nil {
-		// The padded result is incomplete; leave Cv untouched.
+		// The padded product is incomplete; Cv is untouched — still
+		// exactly the β-scaled input for this block.
 		return err
 	}
 
 	t2 := time.Now()
-	if err := unpackPadded(ctx, pool, Cv, cp); err != nil {
+	// Background context for the same atomicity reason as blockRecursive.
+	if err := unpackPaddedAccumulate(context.Background(), pool, Cv, cp, alpha); err != nil {
 		return err
 	}
 	stats.ConvertOut += time.Since(t2)
+	stats.ConvertBytes += 8 * int64(len(cp.Data))
 	return nil
 }
 
@@ -535,7 +614,7 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 		return nil, err
 	}
 	alg, serial, est, notes, err := admit(o, pool.Workers(),
-		C.PaddedRows(), A.PaddedCols(), C.PaddedCols(), C.TR, A.TC, C.TC)
+		C.PaddedRows(), A.PaddedCols(), C.PaddedCols(), C.TR, A.TC, C.TC, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/tile"
+)
+
+// This file implements prepacked operand plans: the third layer of the
+// amortized-conversion design. Section 4's accounting charges the
+// column-major ⇄ recursive-layout conversion to every call; a Prepacked
+// plan pays it once and serves arbitrarily many multiplications — the
+// serving pattern (fixed weights, streaming right-hand sides) where the
+// conversion of the large reused operand would otherwise dominate the
+// small per-call flop count. Benson & Ballard (SPAA 2015) amortize
+// operand packing the same way across repeated fast multiplications.
+
+// Prepacked is an operand converted to a recursive layout once, for use
+// in many GEMMPrepacked calls. It stores the operand's wide/lean
+// segment decomposition (Figure 3) and one Tiled per segment pair, all
+// blocks sharing a single (curve, depth, tile-shape) geometry so that
+// any two conforming plans can multiply without re-packing.
+//
+// A plan is immutable after creation and safe for concurrent use; it
+// stays valid until Release returns its buffers to the recycling pool.
+type Prepacked struct {
+	// Curve, D, TR, TC are the shared geometry of every block: tiles
+	// are TR×TC on a 2^D × 2^D grid ordered along Curve.
+	Curve  layout.Curve
+	D      uint
+	TR, TC int
+	// Rows and Cols are the logical extents of op(src) — transposition
+	// requested at Prepack time is already folded into the layout.
+	Rows, Cols int
+	// RSegs and CSegs are the wide/lean segment decompositions of the
+	// row and column dimensions; blocks[i*len(CSegs)+j] covers
+	// (RSegs[i], CSegs[j]).
+	RSegs, CSegs []tile.Seg
+	blocks       []*Tiled
+	released     bool
+}
+
+// choosePlan determines the shared (depth, tile-shape) geometry of a
+// plan covering row/column segments of at most r×c — the two-dimensional
+// analogue of choose. One Pick over the maximum segment lengths gives
+// every block the same geometry, which is what makes two independently
+// prepacked operands able to conform.
+func choosePlan(o Options, r, c int) (d uint, tr, tc int, err error) {
+	if o.ForceTile > 0 {
+		t := o.ForceTile
+		for _, dim := range []int{r, c} {
+			need := uint(0)
+			for need < 62 && (t<<need) < dim {
+				need++
+			}
+			if (t << need) < dim {
+				return 0, 0, 0, fmt.Errorf("%w: ForceTile=%d cannot cover %dx%d", ErrDimension, t, r, c)
+			}
+			if need > d {
+				d = need
+			}
+		}
+		tr, tc = t, t
+	} else {
+		ch := o.Tile.Pick(r, c)
+		d, tr, tc = ch.D, ch.Tiles[0], ch.Tiles[1]
+	}
+	if _, _, _, err := paddedDims(d, tr, tc, tc); err != nil {
+		return 0, 0, 0, err
+	}
+	return d, tr, tc, nil
+}
+
+// Prepack converts op(src) into a recursive-layout plan: segments from
+// the same wide/lean decomposition GEMM would apply, one packed Tiled
+// per segment pair, the requested transposition folded into the pack.
+// Options select the curve, tile configuration, and splitting behavior;
+// algorithm and kernel choices are deferred to GEMMPrepacked. The
+// canonical layouts are rejected — they have no conversion to amortize.
+//
+// Two independently prepacked plans conform only when tile selection
+// lands on the same inner-dimension geometry for both; for a streaming
+// second operand use PrepackConforming, which adopts the first plan's
+// geometry by construction.
+func Prepack(ctx context.Context, pool *sched.Pool, opts Options, src *matrix.Dense, trans bool) (p *Prepacked, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, recoveredError(r)
+		}
+	}()
+	o := opts.withDefaults()
+	r, c, err := prepackShape(o, src, trans)
+	if err != nil {
+		return nil, err
+	}
+	rs := []tile.Seg{{Off: 0, Len: r}}
+	cs := []tile.Seg{{Off: 0, Len: c}}
+	if !o.DisableSplit && o.ForceTile == 0 {
+		if o.PartnerDim > 0 {
+			// Serving plans know their partners' free dimension: split
+			// exactly as a direct GEMM of that shape would, then bias
+			// the segment length down to a power-of-two multiple of
+			// TSweet so every block tiles at the sweet size with a
+			// power-of-two grid — the grid granularity is what a skinny
+			// conforming partner must pad its free dimension to.
+			short := r
+			if c < short {
+				short = c
+			}
+			if o.PartnerDim < short {
+				short = o.PartnerDim
+			}
+			if short < o.Tile.TMin {
+				short = o.Tile.TMin
+			}
+			maxLen := int(float64(short) * o.Tile.Alpha())
+			if ts := o.Tile.TSweet; ts > 0 && maxLen >= ts {
+				g := ts
+				for g*2 <= maxLen {
+					g *= 2
+				}
+				maxLen = g
+			}
+			rs, cs = tile.SplitDim(r, maxLen), tile.SplitDim(c, maxLen)
+		} else {
+			// The operand's own decomposition, with the unknown third
+			// GEMM dimension taken as the row extent (a squat peer);
+			// conformance with the partner plan is validated at multiply
+			// time.
+			rs, cs, _ = o.Tile.SplitDims(r, c, r)
+		}
+	}
+	d, tr, tc, err := choosePlan(o, maxSegLen(rs), maxSegLen(cs))
+	if err != nil {
+		return nil, err
+	}
+	return packPlan(ctx, pool, o.Curve, d, tr, tc, rs, cs, src, trans)
+}
+
+// PrepackConforming packs op(src) as the right-hand operand of a plan
+// that already fixed the inner dimension's geometry: depth, row tiling,
+// and row segments are taken from like (like's columns are the shared
+// k dimension), so GEMMPrepacked(…, like, result, …) conforms by
+// construction. This is the entry point for the serving pattern — the
+// big fixed operand is Prepacked once, each streaming right-hand side
+// is PrepackConforming'd against it.
+func PrepackConforming(ctx context.Context, pool *sched.Pool, opts Options, src *matrix.Dense, trans bool, like *Prepacked) (p *Prepacked, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, recoveredError(r)
+		}
+	}()
+	if like == nil || like.released {
+		return nil, fmt.Errorf("core: PrepackConforming against a nil or released plan")
+	}
+	o := opts.withDefaults()
+	o.Curve = like.Curve
+	r, c, err := prepackShape(o, src, trans)
+	if err != nil {
+		return nil, err
+	}
+	if r != like.Cols {
+		return nil, fmt.Errorf("%w: operand has %d rows, plan's inner dimension is %d", ErrDimension, r, like.Cols)
+	}
+	rs := like.CSegs
+	cs := []tile.Seg{{Off: 0, Len: c}}
+	// The free (column) dimension splits independently of conformance;
+	// keep lean operands whole, cut genuinely wide ones like SplitDim
+	// would.
+	if !o.DisableSplit && o.ForceTile == 0 {
+		short := maxSegLen(rs)
+		if c < short {
+			short = c
+		}
+		if short < o.Tile.TMin {
+			short = o.Tile.TMin
+		}
+		cs = tile.SplitDim(c, int(float64(short)*o.Tile.Alpha()))
+	}
+	d, tr := like.D, like.TC
+	tc := (maxSegLen(cs) + (1 << d) - 1) >> d
+	// The inherited depth can leave a skinny free dimension with tiles
+	// too narrow for the register-blocked kernels. Rounding the tile
+	// width up to the micro-kernel's column block trades zero padding
+	// for full-speed leaves — but only when the extra padding stays
+	// within the configured slack; a deep grid would otherwise multiply
+	// the rounding by 2^d and swamp the kernel win with padded flops.
+	if mu := o.Tile.MicroN; mu > 0 && tc%mu != 0 {
+		rounded := tc + mu - tc%mu
+		if float64(rounded<<d) <= float64(maxSegLen(cs))*(1+o.Tile.PadSlack) {
+			tc = rounded
+		}
+	}
+	if _, _, _, err := paddedDims(d, tr, tc, tc); err != nil {
+		return nil, err
+	}
+	return packPlan(ctx, pool, o.Curve, d, tr, tc, rs, cs, src, trans)
+}
+
+// prepackShape validates the common Prepack preconditions and returns
+// the logical op(src) extents.
+func prepackShape(o Options, src *matrix.Dense, trans bool) (r, c int, err error) {
+	if o.Curve == layout.ColMajor || o.Curve == layout.RowMajor {
+		return 0, 0, fmt.Errorf("core: Prepack requires a recursive layout, got %v", o.Curve)
+	}
+	r, c = src.Rows, src.Cols
+	if trans {
+		r, c = c, r
+	}
+	if r == 0 || c == 0 {
+		return 0, 0, fmt.Errorf("%w: Prepack of empty %dx%d operand", ErrDimension, r, c)
+	}
+	return r, c, nil
+}
+
+func maxSegLen(segs []tile.Seg) int {
+	m := 0
+	for _, s := range segs {
+		if s.Len > m {
+			m = s.Len
+		}
+	}
+	return m
+}
+
+// packPlan builds and fills a plan over fixed geometry and segments.
+func packPlan(ctx context.Context, pool *sched.Pool, cv layout.Curve, d uint, tr, tc int,
+	rs, cs []tile.Seg, src *matrix.Dense, trans bool) (p *Prepacked, err error) {
+
+	if pool == nil {
+		tp := sched.NewPool(0)
+		defer tp.Close()
+		pool = tp
+	} else if pool.Closed() {
+		return nil, sched.ErrPoolClosed
+	}
+	p = &Prepacked{Curve: cv, D: d, TR: tr, TC: tc, Rows: segsLen(rs), Cols: segsLen(cs),
+		RSegs: rs, CSegs: cs, blocks: make([]*Tiled, len(rs)*len(cs))}
+	defer func() {
+		if err != nil {
+			p.Release()
+			p = nil
+		}
+	}()
+	for i, sr := range rs {
+		for j, sc := range cs {
+			t := acquireTiled(nil, cv, d, tr, tc, sr.Len, sc.Len)
+			p.blocks[i*len(cs)+j] = t
+			sv := opView(src, trans, sr, sc)
+			if err = t.Pack(ctx, pool, sv, trans, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// segsLen returns the total extent a segment decomposition covers.
+func segsLen(segs []tile.Seg) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Len
+	}
+	return n
+}
+
+// Block returns the packed Tiled covering (RSegs[i], CSegs[j]).
+func (p *Prepacked) Block(i, j int) *Tiled { return p.blocks[i*len(p.CSegs)+j] }
+
+// Bytes returns the total packed storage the plan holds.
+func (p *Prepacked) Bytes() int64 {
+	var n int64
+	for _, b := range p.blocks {
+		if b != nil {
+			n += 8 * int64(len(b.Data))
+		}
+	}
+	return n
+}
+
+// Release returns the plan's buffers to the recycling pool. The plan
+// must not be used afterwards; Release is not safe to call concurrently
+// with multiplications using the plan.
+func (p *Prepacked) Release() {
+	if p == nil || p.released {
+		return
+	}
+	p.released = true
+	for i, b := range p.blocks {
+		releaseTiled(b)
+		p.blocks[i] = nil
+	}
+}
+
+// Transposed derives the plan of op(src)ᵀ entirely inside the recursive
+// layout: block (i, j) of the result is the in-layout transpose of
+// block (j, i), built with PackTransposeOf — the column-major source is
+// never re-read. One Prepack plus one Transposed is how a symmetric
+// product (SYRK's α·A·Aᵀ) serves both operand slots from a single
+// conversion pass.
+func (p *Prepacked) Transposed(ctx context.Context, pool *sched.Pool) (q *Prepacked, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q, err = nil, recoveredError(r)
+		}
+	}()
+	if p.released {
+		return nil, fmt.Errorf("core: Transposed of a released plan")
+	}
+	if pool == nil {
+		tp := sched.NewPool(0)
+		defer tp.Close()
+		pool = tp
+	} else if pool.Closed() {
+		return nil, sched.ErrPoolClosed
+	}
+	q = &Prepacked{Curve: p.Curve, D: p.D, TR: p.TC, TC: p.TR, Rows: p.Cols, Cols: p.Rows,
+		RSegs: p.CSegs, CSegs: p.RSegs, blocks: make([]*Tiled, len(p.blocks))}
+	defer func() {
+		if err != nil {
+			q.Release()
+			q = nil
+		}
+	}()
+	for i, sr := range q.RSegs {
+		for j, sc := range q.CSegs {
+			t := acquireTiled(nil, q.Curve, q.D, q.TR, q.TC, sr.Len, sc.Len)
+			q.blocks[i*len(q.CSegs)+j] = t
+			if err = t.PackTransposeOf(ctx, pool, p.Block(j, i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return q, nil
+}
+
+// segsEqual reports whether two segment decompositions coincide.
+func segsEqual(a, b []tile.Seg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GEMMPrepacked computes C ← α·A·B + β·C where A and B are prepacked
+// plans (any transposition was folded at Prepack time). The operand
+// conversion is gone from the call: per block, the driver zero-fills a
+// pooled tiled C, accumulates the plan blocks' products into it, and
+// folds α plus the accumulate into the unpack — so a steady-state call
+// reports Stats.ConvertIn ≈ 0 (only the C zero-fill), ConvertBytes
+// counting only the C epilogue, and PackReused counting every operand
+// the plans served.
+//
+// The plans must conform: same curve and depth, pa's column tiling and
+// segments equal to pb's row tiling and segments. Plans created by one
+// Prepack call and its Transposed always conform; independently
+// prepacked operands conform when tile selection lands on the same
+// depth for the shared dimension (the default configuration's preferred
+// tile size makes this the common case), and the call validates before
+// touching C. Options select algorithm, kernel, and cutoffs; layout and
+// tile options are ignored in favor of the plans' geometry, and
+// MaxResidualGrowth is not applied (the probe needs column-major
+// operands).
+//
+// The failure contract matches GEMMCtx: on error or cancellation C
+// holds the β-scaled input plus fully completed block products only.
+func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha float64,
+	pa, pb *Prepacked, beta float64, C *matrix.Dense) (stats *Stats, err error) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, recoveredError(r)
+		}
+	}()
+	o := opts.withDefaults()
+	if pa == nil || pb == nil {
+		return nil, fmt.Errorf("core: GEMMPrepacked with nil plan")
+	}
+	if pa.released || pb.released {
+		return nil, fmt.Errorf("core: GEMMPrepacked with released plan")
+	}
+	if !isFinite(alpha) || !isFinite(beta) {
+		return nil, fmt.Errorf("%w: alpha=%v, beta=%v", ErrNonFinite, alpha, beta)
+	}
+	if pa.Curve != pb.Curve {
+		return nil, fmt.Errorf("core: plans disagree on layout: %v vs %v", pa.Curve, pb.Curve)
+	}
+	if pa.Cols != pb.Rows {
+		return nil, fmt.Errorf("core: inner dimensions disagree: A plan is %dx%d, B plan is %dx%d",
+			pa.Rows, pa.Cols, pb.Rows, pb.Cols)
+	}
+	if pa.D != pb.D || pa.TC != pb.TR {
+		return nil, fmt.Errorf("core: plans do not conform on the inner dimension: "+
+			"A packs k with %d-wide tiles at depth %d, B with %d-tall tiles at depth %d "+
+			"(prepack the lean operand with DisableSplit, or derive one plan from the other with Transposed)",
+			pa.TC, pa.D, pb.TR, pb.D)
+	}
+	if !segsEqual(pa.CSegs, pb.RSegs) {
+		return nil, fmt.Errorf("core: plans split the inner dimension differently (%d vs %d segments); "+
+			"prepack the lean operand with DisableSplit so the shared dimension stays in one segment",
+			len(pa.CSegs), len(pb.RSegs))
+	}
+	if C.Rows != pa.Rows || C.Cols != pb.Cols {
+		return nil, fmt.Errorf("core: C is %dx%d, want %dx%d", C.Rows, C.Cols, pa.Rows, pb.Cols)
+	}
+	if pool == nil {
+		tp := sched.NewPool(0)
+		defer tp.Close()
+		pool = tp
+	} else if pool.Closed() {
+		return nil, sched.ErrPoolClosed
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: GEMMPrepacked not started: %w", cerr)
+	}
+
+	d, tm, tk, tn := pa.D, pa.TR, pa.TC, pb.TC
+	mp, kp, np, err := paddedDims(d, tm, tk, tn)
+	if err != nil {
+		return nil, err
+	}
+	kern, skern, kname, err := resolveKernel(o, tm, tk, tn)
+	if err != nil {
+		return nil, err
+	}
+	// Admission with resident=true: the plans' packed operands were
+	// allocated once, outside this call, and are charged to the plan —
+	// only the pooled C tile and the arena count against the budget.
+	alg, serial, est, notes, err := admit(o, pool.Workers(), mp, kp, np, tm, tk, tn, true)
+	if err != nil {
+		return nil, err
+	}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin}
+	if serial {
+		e.serialCutoff = 1 << 30
+	}
+	stacks := pool.Workers()
+	if serial {
+		stacks = 1
+	}
+	ar := acquireArena(alg, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
+	defer releaseArena(ar)
+	e.ar = ar
+
+	stats = &Stats{Depth: d, TileM: tm, TileK: tk, TileN: tn,
+		PaddedM: mp, PaddedK: kp, PaddedN: np,
+		Kernel: kname, Alg: alg, Serial: serial, Degraded: notes,
+		EstimatedBytes: est, ArenaBytes: ar.bytes()}
+
+	if C.Rows*C.Cols >= ewParMin && pool.Workers() > 1 {
+		if serr := scaleCols(pool, C, beta); serr != nil {
+			return nil, fmt.Errorf("core: GEMMPrepacked beta scale: %w", serr)
+		}
+	} else {
+		C.Scale(beta)
+	}
+	if alpha == 0 {
+		return stats, nil
+	}
+
+	total := len(pa.RSegs) * len(pb.CSegs) * len(pa.CSegs)
+	for i, sm := range pa.RSegs {
+		for j, sn := range pb.CSegs {
+			if err := prepackedBlock(ctx, pool, e, stats, alg, alpha, pa, pb, i, j, sm, sn, C); err != nil {
+				return nil, fmt.Errorf("core: GEMMPrepacked failed after %d of %d products: %w", stats.Blocks, total, err)
+			}
+		}
+	}
+	if ar != nil {
+		stats.AllocBytes = 8 * ar.fallbackElems.Load()
+	}
+	return stats, nil
+}
+
+// prepackedBlock accumulates the (i, j) output block: a pooled tiled C
+// is zero-filled, every k-segment product of the plans accumulates into
+// it in the packed domain, and one fused epilogue folds α·result into
+// Cv. Deferred release is safe: RunCtx and runChunks drain their tasks
+// before returning, even on cancellation.
+func prepackedBlock(ctx context.Context, pool *sched.Pool, e *exec, stats *Stats, alg Alg, alpha float64,
+	pa, pb *Prepacked, i, j int, sm, sn tile.Seg, C *matrix.Dense) error {
+
+	Cv := C.View(sm.Off, sn.Off, sm.Len, sn.Len)
+	t0 := time.Now()
+	tc := acquireTiled(stats, pa.Curve, pa.D, pa.TR, pb.TC, sm.Len, sn.Len)
+	defer releaseTiled(tc)
+	if err := zeroFill(ctx, pool, tc.Data); err != nil {
+		return err
+	}
+	stats.ConvertIn += time.Since(t0)
+
+	cm := tc.Mat()
+	for ki := range pa.CSegs {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("core: cancelled: %w", cerr)
+		}
+		am, bm := pa.Block(i, ki).Mat(), pb.Block(ki, j).Mat()
+		t1 := time.Now()
+		work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+		stats.Compute += time.Since(t1)
+		stats.Work += work
+		if span > stats.Span {
+			stats.Span = span
+		}
+		if err != nil {
+			// Cv untouched: still exactly the β-scaled input.
+			return err
+		}
+		stats.PackReused += 2
+		stats.Blocks++
+	}
+
+	t2 := time.Now()
+	// Background context: the epilogue must complete once started (the
+	// β-scaled-or-complete atomicity contract).
+	if err := tc.UnpackAccumulate(context.Background(), pool, Cv, alpha); err != nil {
+		return err
+	}
+	stats.ConvertOut += time.Since(t2)
+	stats.ConvertBytes += 8 * int64(len(tc.Data))
+	return nil
+}

@@ -197,12 +197,17 @@ func (t *Tiled) Pack(ctx context.Context, pool *sched.Pool, src *matrix.Dense, t
 					vZero(dcol)
 					continue
 				}
-				if trans {
+				switch {
+				case trans:
 					// Logical (i, gj) = src(gj, i): strided row read.
 					for ii := 0; ii < vr; ii++ {
 						dcol[ii] = alpha * src.Data[(i0+ii)*src.Stride+gj]
 					}
-				} else {
+				case alpha == 1:
+					// The fused C epilogue packs operands unscaled, so
+					// the common case is a straight copy.
+					copy(dcol[:vr], src.Data[gj*src.Stride+i0:gj*src.Stride+i0+vr])
+				default:
 					scol := src.Data[gj*src.Stride+i0:]
 					for ii := 0; ii < vr; ii++ {
 						dcol[ii] = alpha * scol[ii]
@@ -255,6 +260,126 @@ func (t *Tiled) Unpack(ctx context.Context, pool *sched.Pool, dst *matrix.Dense)
 	})
 }
 
+// UnpackAccumulate folds the C epilogue of a block multiplication into
+// the conversion walk: dst += alpha · (logical region of t), discarding
+// padding. With the product accumulated into a zero-filled tiled buffer,
+// this replaces the old pack-C / compute / unpack-C round-trip — C is
+// read and written exactly once, alpha is applied for free during the
+// stream, and dst stays untouched (β-scaled) until the block's compute
+// has fully succeeded. Parallelized over tiles like Unpack.
+func (t *Tiled) UnpackAccumulate(ctx context.Context, pool *sched.Pool, dst *matrix.Dense, alpha float64) error {
+	if dst.Rows != t.Rows || dst.Cols != t.Cols {
+		return fmt.Errorf("core: unpack tiled %dx%d into %dx%d", t.Rows, t.Cols, dst.Rows, dst.Cols)
+	}
+	side := 1 << t.D
+	ts := t.TR * t.TC
+	coords := tileCoords(t.Curve, t.D)
+	return runChunks(ctx, pool, side*side, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			var ti, tj uint32
+			if coords != nil {
+				pc := coords[s]
+				ti, tj = pc>>16, pc&0xffff
+			} else {
+				ti, tj = t.Curve.SInverse(uint64(s), t.D)
+			}
+			base := s * ts
+			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
+			if i0 >= t.Rows || j0 >= t.Cols {
+				continue
+			}
+			vr := t.Rows - i0
+			if vr > t.TR {
+				vr = t.TR
+			}
+			vc := t.Cols - j0
+			if vc > t.TC {
+				vc = t.TC
+			}
+			for jj := 0; jj < vc; jj++ {
+				dcol := dst.Data[(j0+jj)*dst.Stride+i0 : (j0+jj)*dst.Stride+i0+vr]
+				scol := t.Data[base+jj*t.TR : base+jj*t.TR+vr]
+				if alpha == 1 {
+					for ii := range dcol {
+						dcol[ii] += scol[ii]
+					}
+				} else {
+					for ii := range dcol {
+						dcol[ii] += alpha * scol[ii]
+					}
+				}
+			}
+		}
+	})
+}
+
+// PackTransposeOf fills t with the transpose of an already-packed tiled
+// matrix, entirely within the recursive layout: destination tile (i, j)
+// is the element-wise transpose of source tile (j, i), located through
+// the curve's forward S function. This is how one packed operand serves
+// both slots of a symmetric product (SYRK's α·A·Aᵀ): the second pack
+// never re-reads the strided column-major source. Both matrices must
+// share curve, depth, and mirrored tile shapes (t is TC×TR tiles where
+// src is TR×TC).
+func (t *Tiled) PackTransposeOf(ctx context.Context, pool *sched.Pool, src *Tiled) error {
+	if t.Curve != src.Curve || t.D != src.D {
+		return fmt.Errorf("core: transpose pack across grids (curve %v/%v, depth %d/%d)",
+			t.Curve, src.Curve, t.D, src.D)
+	}
+	if t.TR != src.TC || t.TC != src.TR || t.Rows != src.Cols || t.Cols != src.Rows {
+		return fmt.Errorf("core: transpose pack %dx%d (%dx%d tiles) from %dx%d (%dx%d tiles)",
+			t.Rows, t.Cols, t.TR, t.TC, src.Rows, src.Cols, src.TR, src.TC)
+	}
+	side := 1 << t.D
+	dts, sts := t.TR*t.TC, src.TR*src.TC
+	coords := tileCoords(t.Curve, t.D)
+	return runChunks(ctx, pool, side*side, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			var ti, tj uint32
+			if coords != nil {
+				pc := coords[s]
+				ti, tj = pc>>16, pc&0xffff
+			} else {
+				ti, tj = t.Curve.SInverse(uint64(s), t.D)
+			}
+			dst := t.Data[s*dts : s*dts+dts]
+			sbase := int(t.Curve.S(tj, ti, t.D)) * sts
+			// dst tile is TR×TC column-major; its (r, c) element is the
+			// source tile's (c, r) element, src leading dimension src.TR.
+			for c := 0; c < t.TC; c++ {
+				scol := src.Data[sbase+c : sbase+sts]
+				for r := 0; r < t.TR; r++ {
+					dst[c*t.TR+r] = scol[r*src.TR]
+				}
+			}
+		}
+	})
+}
+
+// zeroFill clears a contiguous buffer in parallel across the pool — the
+// "zero" half of the fused epilogue's zero+accumulate C discipline, and
+// the scrub for dirty recycled buffers.
+func zeroFill(ctx context.Context, pool *sched.Pool, data []float64) error {
+	return runChunks(ctx, pool, len(data), func(lo, hi int) {
+		vZero(data[lo:hi])
+	})
+}
+
+// scaleCols scales dst's columns by alpha in parallel across the pool —
+// the β·C pass of GEMM, previously a serial full-matrix walk on the
+// caller's goroutine. It runs under a background context: β scaling is
+// the atomicity anchor of the failure contract ("C holds the β-scaled
+// inputs"), so a cancellation must not leave it half-applied; the pass
+// is one bounded memory sweep, within the documented abort latency.
+func scaleCols(pool *sched.Pool, dst *matrix.Dense, alpha float64) error {
+	if alpha == 1 {
+		return nil
+	}
+	return runChunks(context.Background(), pool, dst.Cols, func(lo, hi int) {
+		dst.ScaleCols(alpha, lo, hi)
+	})
+}
+
 // packPadded copies op(src)·alpha into a zeroed padded column-major
 // matrix — the conversion step for the canonical-layout (L_C) runs,
 // which still need padding so that the identical recursive control
@@ -274,11 +399,14 @@ func packPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, t
 				vZero(dcol)
 				continue
 			}
-			if trans {
+			switch {
+			case trans:
 				for i := 0; i < srows; i++ {
 					dcol[i] = alpha * src.Data[i*src.Stride+j]
 				}
-			} else {
+			case alpha == 1:
+				copy(dcol[:srows], src.Data[j*src.Stride:j*src.Stride+srows])
+			default:
 				scol := src.Data[j*src.Stride:]
 				for i := 0; i < srows; i++ {
 					dcol[i] = alpha * scol[i]
@@ -291,13 +419,22 @@ func packPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, t
 	})
 }
 
-// unpackPadded copies the logical region of a padded column-major
-// matrix back into dst.
-func unpackPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense) error {
+// unpackPaddedAccumulate is UnpackAccumulate's canonical-layout twin:
+// dst += alpha · (logical region of the padded matrix src).
+func unpackPaddedAccumulate(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, alpha float64) error {
 	return runChunks(ctx, pool, dst.Cols, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			copy(dst.Data[j*dst.Stride:j*dst.Stride+dst.Rows],
-				src.Data[j*src.Stride:j*src.Stride+dst.Rows])
+			dcol := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+			scol := src.Data[j*src.Stride : j*src.Stride+dst.Rows]
+			if alpha == 1 {
+				for i := range dcol {
+					dcol[i] += scol[i]
+				}
+			} else {
+				for i := range dcol {
+					dcol[i] += alpha * scol[i]
+				}
+			}
 		}
 	})
 }

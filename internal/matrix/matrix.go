@@ -108,7 +108,15 @@ func (a *Dense) Scale(alpha float64) {
 	if alpha == 1 {
 		return
 	}
-	for j := 0; j < a.Cols; j++ {
+	a.ScaleCols(alpha, 0, a.Cols)
+}
+
+// ScaleCols multiplies columns [lo, hi) of a by alpha — the ranged core
+// of Scale, exposed so callers with a worker pool can split the pass
+// into parallel column chunks (a full-matrix β·C scale is a memory-bound
+// sweep worth parallelizing above a size threshold).
+func (a *Dense) ScaleCols(alpha float64, lo, hi int) {
+	for j := lo; j < hi; j++ {
 		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
 		for i := range col {
 			col[i] *= alpha
