@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench bench-kernel fuzz bench-json
+.PHONY: check build vet test race stress bench bench-kernel fuzz bench-json obs-gate trace-smoke
 
-check: build vet race stress
+check: build vet race stress obs-gate trace-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,19 @@ race:
 RECMAT_FAULTS ?= panic=0.002,alloc=0.005,delay=0.005/50us,seed=7
 stress:
 	RECMAT_FAULTS='$(RECMAT_FAULTS)' $(GO) test -race -count=3 -run 'Stress' . ./internal/core ./internal/sched
+
+# The observability gates. obs-gate bounds the disabled-tracer cost —
+# tracepoints-per-multiply × per-tracepoint nil-check cost, both
+# measured in one process — at 2% of an n=512 multiply's wall time,
+# and validates a traced 512³ Strassen export. trace-smoke exercises
+# the CLI path end to end: cmd/matmul writes a Chrome trace and
+# cmd/tracecheck re-validates the file the way Perfetto would load it.
+obs-gate:
+	RECMAT_OBS_GATE=1 $(GO) test -run 'TestObsGate' -count=1 -v .
+
+trace-smoke:
+	$(GO) run ./cmd/matmul -m 512 -alg strassen -layout z -trace /tmp/recmat_trace.json > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/recmat_trace.json
 
 # The perf-regression gate: re-measure the standard algorithm and
 # compare against the committed BENCH_4.json record. Individual points

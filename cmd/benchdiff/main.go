@@ -31,7 +31,13 @@
 //     and serve-prepacked at the same n) whose prepacked speedup falls
 //     below -servemin. The two records share one measurement window, so
 //     this ratio is stable where cross-file points are not; it guards
-//     the amortized-conversion win directly.
+//     the amortized-conversion win directly, or
+//   - a candidate point's worker utilization dropped by more than
+//     -utiltol (absolute) below the baseline's — catching a scheduler
+//     change that starves workers without (yet) moving the GFLOPS mean.
+//     This gate only arms when BOTH files are schema ≥4 (where the
+//     field exists and is populated); against an older baseline it is
+//     silently inactive, so schema 1–3 files keep comparing cleanly.
 //
 // Points beyond -tol are still marked "!" in the listing for
 // investigation even when the aggregate gate passes.
@@ -66,6 +72,9 @@ type result struct {
 	// ConvertShare is a pointer so that schema-1 records (which predate
 	// the field) are distinguishable from a measured share of zero.
 	ConvertShare *float64 `json:"convert_share"`
+	// WorkerUtilization is a pointer for the same reason: schema ≤3
+	// records predate the field.
+	WorkerUtilization *float64 `json:"worker_utilization"`
 }
 
 type output struct {
@@ -82,22 +91,23 @@ type key struct {
 type point struct {
 	gflops       float64
 	convertShare *float64
+	utilization  *float64
 }
 
-func load(path string) (map[key]point, float64, error) {
+func load(path string) (map[key]point, float64, int, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	var o output
 	if err := json.Unmarshal(buf, &o); err != nil {
-		return nil, 0, fmt.Errorf("%s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	m := make(map[key]point, len(o.Results))
 	for _, r := range o.Results {
-		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{r.GFLOPS, r.ConvertShare}
+		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{r.GFLOPS, r.ConvertShare, r.WorkerUtilization}
 	}
-	return m, o.RefGFLOPS, nil
+	return m, o.RefGFLOPS, o.Schema, nil
 }
 
 func main() {
@@ -108,6 +118,7 @@ func main() {
 	pointTol := flag.Float64("pointtol", 0.40, "allowed fractional regression of any single point (catastrophic floor)")
 	convTol := flag.Float64("convtol", 0.10, "allowed absolute growth in conversion share of total time")
 	serveMin := flag.Float64("servemin", 1.15, "required serve-prepacked / serve-percall speedup within the candidate (0 disables)")
+	utilTol := flag.Float64("utiltol", 0.20, "allowed absolute drop in worker utilization (needs schema >=4 on both sides; 0 disables)")
 	noscale := flag.Bool("noscale", false, "disable host-yardstick rescaling")
 	flag.Parse()
 	if *candidate == "" {
@@ -115,10 +126,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	base, baseRef, err := load(*baseline)
+	base, baseRef, baseSchema, err := load(*baseline)
 	die(err)
-	cand, candRef, err := load(*candidate)
+	cand, candRef, candSchema, err := load(*candidate)
 	die(err)
+	// The utilization gate needs the field measured on both sides;
+	// schema ≤3 files carry no worker_utilization, so it stays off.
+	utilGate := *utilTol > 0 && baseSchema >= 4 && candSchema >= 4
 	scale := 1.0
 	if !*noscale && baseRef > 0 && candRef > 0 {
 		scale = baseRef / candRef
@@ -153,6 +167,13 @@ func main() {
 				failed++
 				mark = "!"
 				convNote = fmt.Sprintf("  convert share %4.1f%% -> %4.1f%%", 100**bp.convertShare, 100**cp.convertShare)
+			}
+		}
+		if utilGate && bp.utilization != nil && cp.utilization != nil {
+			if drop := *bp.utilization - *cp.utilization; drop > *utilTol {
+				failed++
+				mark = "!"
+				convNote += fmt.Sprintf("  utilization %4.1f%% -> %4.1f%%", 100**bp.utilization, 100**cp.utilization)
 			}
 		}
 		mode := k.mode

@@ -26,6 +26,10 @@
 // with A prepacked so each call converts only B and the C epilogue.
 // The per-stream flop count 2n²b is tiny next to A's conversion, so
 // this is the shape where amortization matters most.
+//
+// Schema 4 adds the scheduler telemetry of the best rep: spawned and
+// stolen task counts and the pool's worker utilization over the call
+// (busy worker-time / workers × wall).
 package main
 
 import (
@@ -76,6 +80,12 @@ type result struct {
 	ArenaBytes      int64  `json:"arena_bytes"`
 	AllocsPerOp     uint64 `json:"allocs_per_op"`
 	AllocBytesPerOp uint64 `json:"alloc_bytes_per_op"`
+	// Scheduler telemetry of the best rep (schema 4): deque pushes,
+	// successful steals, and the fraction of worker·wall time the pool
+	// spent executing tasks during the call.
+	Spawns            int64   `json:"spawns"`
+	Steals            int64   `json:"steals"`
+	WorkerUtilization float64 `json:"worker_utilization"`
 }
 
 // fill copies a Report's telemetry into the record.
@@ -92,6 +102,9 @@ func (r *result) fill(rep *recmat.Report, flops float64) {
 	r.PoolHits = rep.PoolHits
 	r.PoolMisses = rep.PoolMisses
 	r.ArenaBytes = rep.ArenaBytes
+	r.Spawns = rep.Spawns
+	r.Steals = rep.Steals
+	r.WorkerUtilization = rep.Utilization
 }
 
 type output struct {
@@ -185,7 +198,7 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:    3,
+		Schema:    4,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,

@@ -6,7 +6,12 @@
 //
 //	matmul [-m 1000] [-k 1000] [-n 1000] [-alg standard] [-layout z]
 //	       [-workers 0] [-kernel unrolled4] [-tile 0] [-verify]
-//	       [-alpha 1] [-beta 0] [-ta] [-tb] [-reps 1]
+//	       [-alpha 1] [-beta 0] [-ta] [-tb] [-reps 1] [-trace out.json]
+//
+// With -trace, every repetition is recorded and the result is written
+// as Chrome Trace Event JSON — load it at https://ui.perfetto.dev to
+// see per-worker task, steal, leaf-kernel, and pack/unpack activity
+// under the call's convert/compute phase spans.
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 	tb := flag.Bool("tb", false, "use op(B) = Bᵀ")
 	reps := flag.Int("reps", 1, "repetitions (reports the best)")
 	seed := flag.Int64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write a Chrome Trace Event JSON file covering all repetitions")
 	flag.Parse()
 
 	if *k == 0 {
@@ -72,6 +78,13 @@ func main() {
 	defer eng.Close()
 	opts := &recmat.Options{Layout: lo, Algorithm: alg, KernelName: kname, ForceTile: *forceTile}
 
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		die(err)
+		die(eng.EnableTracing(traceFile))
+	}
+
 	var best *recmat.Report
 	var C *recmat.Matrix
 	for r := 0; r < *reps; r++ {
@@ -81,6 +94,12 @@ func main() {
 		if best == nil || rep.Total() < best.Total() {
 			best = rep
 		}
+	}
+
+	if traceFile != nil {
+		die(eng.DisableTracing())
+		die(traceFile.Close())
+		fmt.Printf("trace: wrote %s (load at https://ui.perfetto.dev)\n", *tracePath)
 	}
 
 	flops := 2 * float64(*m) * float64(*k) * float64(*n)
@@ -102,6 +121,8 @@ func main() {
 		100*float64(best.ConvertIn+best.ConvertOut)/float64(best.Total()))
 	fmt.Printf("work=%.3g flops  span=%.3g flops  parallelism=%.1f\n",
 		best.Work, best.Span, best.Parallelism())
+	fmt.Printf("sched: spawns=%d steals=%d inline=%d  utilization=%.1f%%\n",
+		best.Spawns, best.Steals, best.Inline, 100*best.Utilization)
 
 	if *verify {
 		t0 := time.Now()

@@ -1,0 +1,37 @@
+// tracecheck validates a Chrome Trace Event JSON file the way the
+// library's exporter promises to produce it: parseable JSON, known
+// phase codes, per-track monotonic timestamps, and well-nested spans.
+// It prints a one-line summary and exits non-zero on a malformed
+// trace — the `make trace-smoke` target runs it over a trace freshly
+// produced by cmd/matmul.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sum, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok — %d events (%d spans, %d instants) on %d tracks, %d dropped\n",
+		os.Args[1], sum.Events, sum.Spans, sum.Instants, sum.Tracks, sum.Dropped)
+}

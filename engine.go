@@ -2,8 +2,11 @@ package recmat
 
 import (
 	"context"
+	"io"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -15,12 +18,21 @@ import (
 // one Engine per concurrent caller.
 type Engine struct {
 	pool *sched.Pool
+	// metrics aggregates per-call counters and histograms across the
+	// engine's lifetime; see Engine.Metrics.
+	metrics *obs.Registry
+	// traceMu serializes EnableTracing/DisableTracing. The active
+	// tracer itself is read by workers through package obs's atomic
+	// pointer, never through these fields.
+	traceMu sync.Mutex
+	tracer  *obs.Tracer
+	traceW  io.Writer
 }
 
 // NewEngine creates an engine with the given number of workers
 // (0 = one per CPU).
 func NewEngine(workers int) *Engine {
-	return &Engine{pool: sched.NewPool(workers)}
+	return &Engine{pool: sched.NewPool(workers), metrics: obs.NewRegistry()}
 }
 
 // Workers returns the engine's worker count.
@@ -73,7 +85,9 @@ func (e *Engine) DGEMM(transA, transB bool, alpha float64, A, B *Matrix, beta fl
 // got. Worker panics never escape: they surface as a *TaskError
 // aggregating every sibling panic with stacks.
 func (e *Engine) DGEMMContext(ctx context.Context, transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix, opts *Options) (*Report, error) {
-	return core.GEMMCtx(ctx, e.pool, opts.coreOptions(), transA, transB, alpha, A, B, beta, C)
+	co := opts.coreOptions()
+	co.Metrics = e.metrics
+	return core.GEMMCtx(ctx, e.pool, co, transA, transB, alpha, A, B, beta, C)
 }
 
 // WorkSpan returns the analytic work and span, in flops, of one

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/layout"
 	"repro/internal/leaf"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -84,6 +86,11 @@ type exec struct {
 	// ewMin: element-wise passes over at least this many elements are
 	// split across the pool (exec.ew2/ew3); 0 disables the splitting.
 	ewMin int
+	// tr is the tracer captured at driver-call entry (nil when tracing
+	// is off) and lane is the call's caller-side trace track; both are
+	// used only by the driver-phase spans, never by the recursion.
+	tr   *obs.Tracer
+	lane int32
 }
 
 // ewParMin is the default exec.ewMin: below half a megabyte the
@@ -184,6 +191,13 @@ func (e *exec) ew3(c *sched.Ctx, dst, a, b Mat, f func(dst, a, b []float64)) {
 func (e *exec) leafMul(c *sched.Ctx, C, A, B Mat) {
 	faultinject.Point("core.leaf")
 	m, n, k := C.tr, C.tc, A.tc
+	// The tracepoint costs one atomic load when tracing is off; the
+	// span's arg carries the leaf's flop count.
+	tr := obs.Cur()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if e.skern != nil {
 		e.skern(leaf.ScratchAt(c.WorkerSlot()), m, n, k,
 			A.data, A.leafLD(), B.data, B.leafLD(), C.data, C.leafLD())
@@ -191,6 +205,10 @@ func (e *exec) leafMul(c *sched.Ctx, C, A, B Mat) {
 		e.kern(m, n, k, A.data, A.leafLD(), B.data, B.leafLD(), C.data, C.leafLD())
 	}
 	c.Account(2 * float64(m) * float64(n) * float64(k))
+	if tr != nil {
+		tr.Span(c.WorkerID(), obs.KindLeaf, t0, time.Since(t0),
+			2*int64(m)*int64(n)*int64(k))
+	}
 }
 
 // accountAdd records the work of one quadrant-sized element-wise pass.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -136,6 +137,9 @@ func (e *exec) newTemp(c *sched.Ctx, proto Mat) Mat {
 	if e.ar != nil {
 		e.ar.fallbackAllocs.Add(1)
 		e.ar.fallbackElems.Add(int64(n))
+		if tr := obs.Cur(); tr != nil {
+			tr.Instant(c.WorkerID(), obs.KindArenaFallback, 8*int64(n))
+		}
 	}
 	t.data = make([]float64, n)
 	return t

@@ -9,6 +9,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/leaf"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tile"
 )
@@ -83,6 +84,11 @@ type Options struct {
 	// Typical useful values are 8–100; the standard algorithm itself
 	// measures ≈1.
 	MaxResidualGrowth float64
+	// Metrics, when non-nil, receives cumulative per-call metrics
+	// (call/error counts, phase-latency and GFLOPS histograms, scheduler
+	// and pool counters) — see the metric* names in obs.go. Updates are
+	// lock-free; the registry may be shared across pools and engines.
+	Metrics *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -163,6 +169,18 @@ type Stats struct {
 	// outcomes for the buffers this call acquired; in steady state
 	// repeated calls of one shape report PoolMisses == 0.
 	PoolHits, PoolMisses int
+	// Spawns, Steals, and Inline are the scheduler-counter deltas over
+	// the call: tasks pushed to deques, tasks executed by a worker other
+	// than their spawner, and frames run directly at their spawn site.
+	// The counters are pool-global, so with concurrent callers on one
+	// pool the deltas apportion approximately; they are clamped at zero.
+	Spawns, Steals, Inline int64
+	// Utilization is the fraction of worker·wall time the pool spent
+	// executing tasks during the call — busy worker-nanoseconds over
+	// workers × call wall time, in (0, 1] for any call that ran work.
+	// Pool-global like the scheduler counters: concurrent callers
+	// inflate each other's numerator, so the value is clamped at 1.
+	Utilization float64
 }
 
 // Total returns the end-to-end wall time.
@@ -209,6 +227,23 @@ func GEMM(pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
 func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB bool, alpha float64,
 	A, B *matrix.Dense, beta float64, C *matrix.Dense) (stats *Stats, err error) {
 
+	// The tracer and lane are captured once per call so a tracer swap
+	// mid-call cannot split the call's spans across two tracers. The
+	// metrics defer is declared before the recover boundary: deferred
+	// calls run LIFO, so the recover sets the final (stats, err) pair
+	// before the metrics and the whole-call span read them.
+	t0 := time.Now()
+	tr := obs.Cur()
+	var lane int32
+	if tr != nil {
+		lane = tr.NewLane()
+	}
+	defer func() {
+		if tr != nil {
+			tr.LaneSpan(lane, obs.KindGEMM, t0, time.Since(t0), 0)
+		}
+		recordCallMetrics(opts.Metrics, stats, err, time.Since(t0))
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			stats, err = nil, recoveredError(r)
@@ -245,6 +280,7 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("core: GEMM not started: %w", cerr)
 	}
+	c0 := startCall(pool, t0)
 
 	// β scaling happens once, up front, on the logical C; every block
 	// product then accumulates α·A_ij·B_jl into it. Large matrices are
@@ -282,7 +318,7 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 				av := opView(A, transA, sm, sk)
 				bv := opView(B, transB, sk, sn)
 				cv := C.View(sm.Off, sn.Off, sm.Len, sn.Len)
-				if err := blockGEMM(ctx, pool, o, stats, first, transA, transB, alpha, av, bv, cv); err != nil {
+				if err := blockGEMM(ctx, pool, o, stats, first, tr, lane, transA, transB, alpha, av, bv, cv); err != nil {
 					return nil, fmt.Errorf("core: GEMM failed in block %d of %d: %w", stats.Blocks+1, total, err)
 				}
 				first = false
@@ -290,6 +326,7 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 			}
 		}
 	}
+	finishStats(stats, pool, c0)
 	return stats, nil
 }
 
@@ -364,7 +401,7 @@ func resolveKernel(o Options, tm, tk, tn int) (leaf.Kernel, leaf.ScratchKernel, 
 // the wide/lean segments share near-identical shapes, so the decisions
 // coincide across blocks).
 func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, record bool,
-	transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
+	tr *obs.Tracer, lane int32, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
 	m, n := Cv.Rows, Cv.Cols
 	k := Av.Cols
@@ -387,7 +424,8 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	if err != nil {
 		return err
 	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin,
+		tr: tr, lane: lane}
 	if o.MaxResidualGrowth > 0 && isFastAlg(alg) {
 		if growth := probeResidualGrowth(e, alg, transA, transB, Av, Bv); growth > o.MaxResidualGrowth {
 			notes = append(notes, fmt.Sprintf("residual-probe: %v growth %.1f > bound %.1f; degraded to %v",
@@ -412,6 +450,16 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	ar := acquireArena(alg, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
 	defer releaseArena(ar)
 	e.ar = ar
+	if tr != nil {
+		// One instant per degradation decision, plus the arena
+		// reservation (arg = reserved bytes), on the call's lane.
+		for range notes {
+			tr.LaneInstant(lane, obs.KindDegrade, 0)
+		}
+		if ar != nil {
+			tr.LaneInstant(lane, obs.KindArena, ar.bytes())
+		}
+	}
 	if record {
 		stats.Depth = d
 		stats.TileM, stats.TileK, stats.TileN = tm, tk, tn
@@ -459,41 +507,54 @@ func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e
 	// UnpackAccumulate, so C is read and written once instead of
 	// read+pack+unpack. Buffers return to the pool even on failure:
 	// every parallel pass below drains its tasks before returning.
+	// Each phase runs under e.phase, which closes its runtime/trace
+	// region and tracer span on error paths too.
+	var ta, tb, tc *Tiled
+	defer func() {
+		releaseTiled(tc)
+		releaseTiled(tb)
+		releaseTiled(ta)
+	}()
 	t0 := time.Now()
-	ar, ac := opDims(Av, transA)
-	ta := acquireTiled(stats, o.Curve, d, tm, tk, ar, ac)
-	defer releaseTiled(ta)
-	if err := ta.Pack(ctx, pool, Av, transA, 1); err != nil {
-		return err
-	}
-	br, bc := opDims(Bv, transB)
-	tb := acquireTiled(stats, o.Curve, d, tk, tn, br, bc)
-	defer releaseTiled(tb)
-	if sameView(Av, Bv) && transA != transB && tm == tn {
-		// op(B) is exactly op(A)ᵀ: derive the second packed operand from
-		// the first inside the recursive layout instead of re-reading the
-		// strided column-major source (the SYRK double-pack fold).
-		if err := tb.PackTransposeOf(ctx, pool, ta); err != nil {
+	err := e.phase(ctx, obs.KindConvertIn, "recmat.convert-in", func() error {
+		ar, ac := opDims(Av, transA)
+		ta = acquireTiled(stats, o.Curve, d, tm, tk, ar, ac)
+		if err := ta.Pack(ctx, pool, Av, transA, 1); err != nil {
 			return err
 		}
-		stats.PackReused++
-		stats.ConvertBytes += 8 * int64(len(ta.Data))
-	} else {
-		if err := tb.Pack(ctx, pool, Bv, transB, 1); err != nil {
-			return err
+		br, bc := opDims(Bv, transB)
+		tb = acquireTiled(stats, o.Curve, d, tk, tn, br, bc)
+		if sameView(Av, Bv) && transA != transB && tm == tn {
+			// op(B) is exactly op(A)ᵀ: derive the second packed operand from
+			// the first inside the recursive layout instead of re-reading the
+			// strided column-major source (the SYRK double-pack fold).
+			if err := tb.PackTransposeOf(ctx, pool, ta); err != nil {
+				return err
+			}
+			stats.PackReused++
+			stats.ConvertBytes += 8 * int64(len(ta.Data))
+		} else {
+			if err := tb.Pack(ctx, pool, Bv, transB, 1); err != nil {
+				return err
+			}
+			stats.ConvertBytes += 8 * int64(len(ta.Data)+len(tb.Data))
 		}
-		stats.ConvertBytes += 8 * int64(len(ta.Data)+len(tb.Data))
-	}
-	tc := acquireTiled(stats, o.Curve, d, tm, tn, Cv.Rows, Cv.Cols)
-	defer releaseTiled(tc)
-	if err := zeroFill(ctx, pool, tc.Data); err != nil {
-		return err
-	}
+		tc = acquireTiled(stats, o.Curve, d, tm, tn, Cv.Rows, Cv.Cols)
+		return zeroFill(ctx, pool, tc.Data)
+	})
 	stats.ConvertIn += time.Since(t0)
+	if err != nil {
+		return err
+	}
 
 	t1 := time.Now()
-	cm, am, bm := tc.Mat(), ta.Mat(), tb.Mat()
-	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+	var work, span float64
+	err = e.phase(ctx, obs.KindCompute, "recmat.compute", func() error {
+		cm, am, bm := tc.Mat(), ta.Mat(), tb.Mat()
+		var rerr error
+		work, span, rerr = pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+		return rerr
+	})
 	stats.Compute += time.Since(t1)
 	stats.Work += work
 	if span > stats.Span {
@@ -506,13 +567,16 @@ func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e
 	}
 
 	t2 := time.Now()
-	// The epilogue accumulates under a background context: once it
-	// starts, a cancellation must not leave the block half-applied (the
-	// β-scaled-or-complete contract); the pass is one bounded sweep.
-	if err := tc.UnpackAccumulate(context.Background(), pool, Cv, alpha); err != nil {
+	err = e.phase(ctx, obs.KindConvertOut, "recmat.convert-out", func() error {
+		// The epilogue accumulates under a background context: once it
+		// starts, a cancellation must not leave the block half-applied (the
+		// β-scaled-or-complete contract); the pass is one bounded sweep.
+		return tc.UnpackAccumulate(context.Background(), pool, Cv, alpha)
+	})
+	stats.ConvertOut += time.Since(t2)
+	if err != nil {
 		return err
 	}
-	stats.ConvertOut += time.Since(t2)
 	stats.ConvertBytes += 8 * int64(len(tc.Data))
 	return nil
 }
@@ -525,23 +589,29 @@ func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, sta
 	// element, padding included, so dirty buffers are safe), a zero-filled
 	// C, and the α·accumulate folded into the unpack.
 	mp, kp, np := tm<<d, tk<<d, tn<<d
+	var ap, bp, cp *matrix.Dense
+	defer func() {
+		releasePadded(cp)
+		releasePadded(bp)
+		releasePadded(ap)
+	}()
 	t0 := time.Now()
-	ap := acquirePadded(stats, mp, kp)
-	defer releasePadded(ap)
-	if err := packPadded(ctx, pool, ap, Av, transA, 1); err != nil {
-		return err
-	}
-	bp := acquirePadded(stats, kp, np)
-	defer releasePadded(bp)
-	if err := packPadded(ctx, pool, bp, Bv, transB, 1); err != nil {
-		return err
-	}
-	cp := acquirePadded(stats, mp, np)
-	defer releasePadded(cp)
-	if err := zeroFill(ctx, pool, cp.Data); err != nil {
-		return err
-	}
+	err := e.phase(ctx, obs.KindConvertIn, "recmat.convert-in", func() error {
+		ap = acquirePadded(stats, mp, kp)
+		if err := packPadded(ctx, pool, ap, Av, transA, 1); err != nil {
+			return err
+		}
+		bp = acquirePadded(stats, kp, np)
+		if err := packPadded(ctx, pool, bp, Bv, transB, 1); err != nil {
+			return err
+		}
+		cp = acquirePadded(stats, mp, np)
+		return zeroFill(ctx, pool, cp.Data)
+	})
 	stats.ConvertIn += time.Since(t0)
+	if err != nil {
+		return err
+	}
 	stats.ConvertBytes += 8 * int64(len(ap.Data)+len(bp.Data))
 
 	mk := func(x *matrix.Dense, tr, tc int) Mat {
@@ -549,7 +619,12 @@ func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, sta
 	}
 	cm, am, bm := mk(cp, tm, tn), mk(ap, tm, tk), mk(bp, tk, tn)
 	t1 := time.Now()
-	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+	var work, span float64
+	err = e.phase(ctx, obs.KindCompute, "recmat.compute", func() error {
+		var rerr error
+		work, span, rerr = pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+		return rerr
+	})
 	stats.Compute += time.Since(t1)
 	stats.Work += work
 	if span > stats.Span {
@@ -562,11 +637,14 @@ func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, sta
 	}
 
 	t2 := time.Now()
-	// Background context for the same atomicity reason as blockRecursive.
-	if err := unpackPaddedAccumulate(context.Background(), pool, Cv, cp, alpha); err != nil {
+	err = e.phase(ctx, obs.KindConvertOut, "recmat.convert-out", func() error {
+		// Background context for the same atomicity reason as blockRecursive.
+		return unpackPaddedAccumulate(context.Background(), pool, Cv, cp, alpha)
+	})
+	stats.ConvertOut += time.Since(t2)
+	if err != nil {
 		return err
 	}
-	stats.ConvertOut += time.Since(t2)
 	stats.ConvertBytes += 8 * int64(len(cp.Data))
 	return nil
 }
@@ -586,6 +664,21 @@ func MulTiled(pool *sched.Pool, opts Options, C, A, B *Tiled) (*Stats, error) {
 // private packed copy, so partial quadrant products may already have
 // accumulated into it.
 func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *Tiled) (stats *Stats, err error) {
+	// Same observability prologue as GEMMCtx: capture the tracer once,
+	// record the metrics and whole-call span after the recover boundary
+	// has settled the (stats, err) pair.
+	tCall := time.Now()
+	tr := obs.Cur()
+	var lane int32
+	if tr != nil {
+		lane = tr.NewLane()
+	}
+	defer func() {
+		if tr != nil {
+			tr.LaneSpan(lane, obs.KindGEMM, tCall, time.Since(tCall), 0)
+		}
+		recordCallMetrics(opts.Metrics, stats, err, time.Since(tCall))
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			stats, err = nil, recoveredError(r)
@@ -618,7 +711,8 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	if err != nil {
 		return nil, err
 	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin,
+		tr: tr, lane: lane}
 	if serial {
 		e.serialCutoff = 1 << 30
 	}
@@ -629,13 +723,22 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	ar := acquireArena(alg, 1<<C.D, C.TR, A.TC, C.TC, e.fastCutoff, stacks)
 	defer releaseArena(ar)
 	e.ar = ar
+	if tr != nil && ar != nil {
+		tr.LaneInstant(lane, obs.KindArena, ar.bytes())
+	}
 	stats = &Stats{Depth: C.D, TileM: C.TR, TileK: A.TC, TileN: C.TC,
 		PaddedM: C.PaddedRows(), PaddedK: A.PaddedCols(), PaddedN: C.PaddedCols(),
 		Kernel: kname, Blocks: 1, Alg: alg, Serial: serial, Degraded: notes,
 		EstimatedBytes: est, ArenaBytes: ar.bytes()}
+	c0 := startCall(pool, tCall)
 	t0 := time.Now()
-	cm, am, bm := C.Mat(), A.Mat(), B.Mat()
-	work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+	var work, span float64
+	err = e.phase(ctx, obs.KindCompute, "recmat.compute", func() error {
+		cm, am, bm := C.Mat(), A.Mat(), B.Mat()
+		var rerr error
+		work, span, rerr = pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+		return rerr
+	})
 	stats.Compute = time.Since(t0)
 	stats.Work, stats.Span = work, span
 	if ar != nil {
@@ -644,6 +747,7 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	if err != nil {
 		return nil, err
 	}
+	finishStats(stats, pool, c0)
 	return stats, nil
 }
 

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// This file is the driver's side of the observability contract: phase
+// spans on the per-call tracer lane, runtime/trace regions for go tool
+// trace, per-call scheduler-delta stats, and the cross-call metrics the
+// registry aggregates. Everything here follows the package obs overhead
+// discipline — with no tracer installed and no registry configured,
+// these helpers reduce to a nil check and a couple of clock reads that
+// the driver was already paying for its Stats timers.
+
+// phase wraps one driver phase (convert-in, compute, convert-out) in a
+// runtime/trace region and, when the call captured a tracer at entry, a
+// span on the call's lane. The region and span close on error paths
+// too, so a cancelled phase still leaves a well-formed trace.
+func (e *exec) phase(ctx context.Context, k obs.Kind, name string, f func() error) error {
+	defer rtrace.StartRegion(ctx, name).End()
+	if e.tr == nil {
+		return f()
+	}
+	t0 := time.Now()
+	err := f()
+	e.tr.LaneSpan(e.lane, k, t0, time.Since(t0), 0)
+	return err
+}
+
+// callStart bundles what finishStats needs from the top of a driver
+// call: the wall clock plus the pool's scheduler and busy counters.
+type callStart struct {
+	t0    time.Time
+	sched sched.PoolStats
+	busy  int64
+}
+
+func startCall(pool *sched.Pool, t0 time.Time) callStart {
+	return callStart{t0: t0, sched: pool.Stats(), busy: pool.BusyNanos()}
+}
+
+// finishStats fills the per-call scheduler fields of Stats from the
+// pool-counter deltas over the call. The counters are pool-global, so
+// under concurrent callers the deltas apportion approximately (each
+// call sees some of its neighbors' traffic); they are clamped at zero,
+// and Utilization — busy worker-nanoseconds over workers × wall — is
+// clamped into [0, 1].
+func finishStats(s *Stats, pool *sched.Pool, c0 callStart) {
+	c1 := pool.Stats()
+	s.Spawns = max64(0, c1.Spawns-c0.sched.Spawns)
+	s.Steals = max64(0, c1.Steals-c0.sched.Steals)
+	s.Inline = max64(0, c1.Inline-c0.sched.Inline)
+	wall := time.Since(c0.t0).Nanoseconds()
+	if w := pool.Workers(); w > 0 && wall > 0 {
+		u := float64(pool.BusyNanos()-c0.busy) / (float64(w) * float64(wall))
+		if u > 1 {
+			u = 1
+		}
+		if u < 0 {
+			u = 0
+		}
+		s.Utilization = u
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Metric names recorded per driver call when Options.Metrics is set.
+// Counters are cumulative across calls; histograms use the package obs
+// preset bucket bounds.
+const (
+	metricGEMMCalls          = "gemm_calls"
+	metricGEMMErrors         = "gemm_errors"
+	metricDegradations       = "degradations"
+	metricPoolHits           = "pool_hits"
+	metricPoolMisses         = "pool_misses"
+	metricPackReused         = "pack_reused"
+	metricConvertBytes       = "convert_bytes"
+	metricArenaFallbackBytes = "arena_fallback_bytes"
+	metricSchedSpawns        = "sched_spawns"
+	metricSchedSteals        = "sched_steals"
+	metricSchedInline        = "sched_inline"
+	metricConvertInSeconds   = "convert_in_seconds"
+	metricComputeSeconds     = "compute_seconds"
+	metricConvertOutSeconds  = "convert_out_seconds"
+	metricTotalSeconds       = "total_seconds"
+	metricGFLOPS             = "gflops"
+	metricUtilization        = "worker_utilization"
+)
+
+// recordCallMetrics aggregates one finished driver call into the
+// registry. Called from a defer declared before the recover boundary,
+// so it sees the final stats/err pair even when the call panicked its
+// way out.
+func recordCallMetrics(m *obs.Registry, stats *Stats, err error, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Counter(metricGEMMCalls).Inc()
+	if err != nil {
+		m.Counter(metricGEMMErrors).Inc()
+		return
+	}
+	if stats == nil {
+		return
+	}
+	m.Counter(metricDegradations).Add(int64(len(stats.Degraded)))
+	m.Counter(metricPoolHits).Add(int64(stats.PoolHits))
+	m.Counter(metricPoolMisses).Add(int64(stats.PoolMisses))
+	m.Counter(metricPackReused).Add(int64(stats.PackReused))
+	m.Counter(metricConvertBytes).Add(stats.ConvertBytes)
+	m.Counter(metricArenaFallbackBytes).Add(stats.AllocBytes)
+	m.Counter(metricSchedSpawns).Add(stats.Spawns)
+	m.Counter(metricSchedSteals).Add(stats.Steals)
+	m.Counter(metricSchedInline).Add(stats.Inline)
+	m.Histogram(metricConvertInSeconds, obs.SecondsBuckets).Observe(stats.ConvertIn.Seconds())
+	m.Histogram(metricComputeSeconds, obs.SecondsBuckets).Observe(stats.Compute.Seconds())
+	m.Histogram(metricConvertOutSeconds, obs.SecondsBuckets).Observe(stats.ConvertOut.Seconds())
+	m.Histogram(metricTotalSeconds, obs.SecondsBuckets).Observe(wall.Seconds())
+	if s := stats.Compute.Seconds(); s > 0 && stats.Work > 0 {
+		m.Histogram(metricGFLOPS, obs.GFLOPSBuckets).Observe(stats.Work / s / 1e9)
+	}
+	if stats.Utilization > 0 {
+		m.Histogram(metricUtilization, obs.RatioBuckets).Observe(stats.Utilization)
+	}
+}

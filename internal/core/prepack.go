@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/layout"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tile"
 )
@@ -377,6 +378,21 @@ func segsEqual(a, b []tile.Seg) bool {
 func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha float64,
 	pa, pb *Prepacked, beta float64, C *matrix.Dense) (stats *Stats, err error) {
 
+	// Same observability prologue as GEMMCtx: the tracer is captured
+	// once per call, and the metrics defer is declared before the
+	// recover boundary so it sees the final (stats, err) pair.
+	t0 := time.Now()
+	tr := obs.Cur()
+	var lane int32
+	if tr != nil {
+		lane = tr.NewLane()
+	}
+	defer func() {
+		if tr != nil {
+			tr.LaneSpan(lane, obs.KindGEMM, t0, time.Since(t0), 0)
+		}
+		recordCallMetrics(opts.Metrics, stats, err, time.Since(t0))
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			stats, err = nil, recoveredError(r)
@@ -440,7 +456,8 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	if err != nil {
 		return nil, err
 	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin}
+	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin,
+		tr: tr, lane: lane}
 	if serial {
 		e.serialCutoff = 1 << 30
 	}
@@ -451,6 +468,15 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	ar := acquireArena(alg, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
 	defer releaseArena(ar)
 	e.ar = ar
+	if tr != nil {
+		for range notes {
+			tr.LaneInstant(lane, obs.KindDegrade, 0)
+		}
+		if ar != nil {
+			tr.LaneInstant(lane, obs.KindArena, ar.bytes())
+		}
+	}
+	c0 := startCall(pool, t0)
 
 	stats = &Stats{Depth: d, TileM: tm, TileK: tk, TileN: tn,
 		PaddedM: mp, PaddedK: kp, PaddedN: np,
@@ -479,6 +505,7 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	if ar != nil {
 		stats.AllocBytes = 8 * ar.fallbackElems.Load()
 	}
+	finishStats(stats, pool, c0)
 	return stats, nil
 }
 
@@ -491,13 +518,17 @@ func prepackedBlock(ctx context.Context, pool *sched.Pool, e *exec, stats *Stats
 	pa, pb *Prepacked, i, j int, sm, sn tile.Seg, C *matrix.Dense) error {
 
 	Cv := C.View(sm.Off, sn.Off, sm.Len, sn.Len)
+	var tc *Tiled
+	defer func() { releaseTiled(tc) }()
 	t0 := time.Now()
-	tc := acquireTiled(stats, pa.Curve, pa.D, pa.TR, pb.TC, sm.Len, sn.Len)
-	defer releaseTiled(tc)
-	if err := zeroFill(ctx, pool, tc.Data); err != nil {
+	err := e.phase(ctx, obs.KindConvertIn, "recmat.convert-in", func() error {
+		tc = acquireTiled(stats, pa.Curve, pa.D, pa.TR, pb.TC, sm.Len, sn.Len)
+		return zeroFill(ctx, pool, tc.Data)
+	})
+	stats.ConvertIn += time.Since(t0)
+	if err != nil {
 		return err
 	}
-	stats.ConvertIn += time.Since(t0)
 
 	cm := tc.Mat()
 	for ki := range pa.CSegs {
@@ -506,7 +537,12 @@ func prepackedBlock(ctx context.Context, pool *sched.Pool, e *exec, stats *Stats
 		}
 		am, bm := pa.Block(i, ki).Mat(), pb.Block(ki, j).Mat()
 		t1 := time.Now()
-		work, span, err := pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+		var work, span float64
+		err := e.phase(ctx, obs.KindCompute, "recmat.compute", func() error {
+			var rerr error
+			work, span, rerr = pool.RunCtx(ctx, func(c *sched.Ctx) { e.mul(c, alg, cm, am, bm) })
+			return rerr
+		})
 		stats.Compute += time.Since(t1)
 		stats.Work += work
 		if span > stats.Span {
@@ -521,12 +557,15 @@ func prepackedBlock(ctx context.Context, pool *sched.Pool, e *exec, stats *Stats
 	}
 
 	t2 := time.Now()
-	// Background context: the epilogue must complete once started (the
-	// β-scaled-or-complete atomicity contract).
-	if err := tc.UnpackAccumulate(context.Background(), pool, Cv, alpha); err != nil {
+	err = e.phase(ctx, obs.KindConvertOut, "recmat.convert-out", func() error {
+		// Background context: the epilogue must complete once started (the
+		// β-scaled-or-complete atomicity contract).
+		return tc.UnpackAccumulate(context.Background(), pool, Cv, alpha)
+	})
+	stats.ConvertOut += time.Since(t2)
+	if err != nil {
 		return err
 	}
-	stats.ConvertOut += time.Since(t2)
 	stats.ConvertBytes += 8 * int64(len(tc.Data))
 	return nil
 }

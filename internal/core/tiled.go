@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/layout"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -122,7 +124,11 @@ func parallelRanges(n, chunks int) [][2]int {
 // are returned as a *sched.TaskError; the single-chunk fast path runs
 // on the caller's goroutine, where a panic propagates raw to the
 // public-API recover boundary.
-func runChunks(ctx context.Context, pool *sched.Pool, n int, f func(lo, hi int)) error {
+//
+// kind labels each chunk's span on its worker's trace track when a
+// tracer is active. The single-chunk fast path emits nothing — it runs
+// on the caller's goroutine, which has no worker track.
+func runChunks(ctx context.Context, pool *sched.Pool, n int, kind obs.Kind, f func(lo, hi int)) error {
 	// The single-chunk fast path never touches the pool, so check the
 	// closed and cancelled states explicitly to keep the error contract
 	// uniform across problem sizes.
@@ -147,7 +153,16 @@ func runChunks(ctx context.Context, pool *sched.Pool, n int, f func(lo, hi int))
 	fns := make([]func(*sched.Ctx), len(rs))
 	for i, r := range rs {
 		r := r
-		fns[i] = func(*sched.Ctx) { f(r[0], r[1]) }
+		fns[i] = func(c *sched.Ctx) {
+			tr := obs.Cur()
+			if tr == nil {
+				f(r[0], r[1])
+				return
+			}
+			t0 := time.Now()
+			f(r[0], r[1])
+			tr.Span(c.WorkerID(), kind, t0, time.Since(t0), int64(r[1]-r[0]))
+		}
 	}
 	_, _, err := pool.RunCtx(ctx, func(c *sched.Ctx) { c.Parallel(fns...) })
 	return err
@@ -171,7 +186,7 @@ func (t *Tiled) Pack(ctx context.Context, pool *sched.Pool, src *matrix.Dense, t
 	side := 1 << t.D
 	ts := t.TR * t.TC
 	coords := tileCoords(t.Curve, t.D)
-	return runChunks(ctx, pool, side*side, func(lo, hi int) {
+	return runChunks(ctx, pool, side*side, obs.KindPack, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			var ti, tj uint32
 			if coords != nil {
@@ -230,7 +245,7 @@ func (t *Tiled) Unpack(ctx context.Context, pool *sched.Pool, dst *matrix.Dense)
 	side := 1 << t.D
 	ts := t.TR * t.TC
 	coords := tileCoords(t.Curve, t.D)
-	return runChunks(ctx, pool, side*side, func(lo, hi int) {
+	return runChunks(ctx, pool, side*side, obs.KindUnpack, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			var ti, tj uint32
 			if coords != nil {
@@ -274,7 +289,7 @@ func (t *Tiled) UnpackAccumulate(ctx context.Context, pool *sched.Pool, dst *mat
 	side := 1 << t.D
 	ts := t.TR * t.TC
 	coords := tileCoords(t.Curve, t.D)
-	return runChunks(ctx, pool, side*side, func(lo, hi int) {
+	return runChunks(ctx, pool, side*side, obs.KindUnpack, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			var ti, tj uint32
 			if coords != nil {
@@ -333,7 +348,7 @@ func (t *Tiled) PackTransposeOf(ctx context.Context, pool *sched.Pool, src *Tile
 	side := 1 << t.D
 	dts, sts := t.TR*t.TC, src.TR*src.TC
 	coords := tileCoords(t.Curve, t.D)
-	return runChunks(ctx, pool, side*side, func(lo, hi int) {
+	return runChunks(ctx, pool, side*side, obs.KindPack, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			var ti, tj uint32
 			if coords != nil {
@@ -360,7 +375,7 @@ func (t *Tiled) PackTransposeOf(ctx context.Context, pool *sched.Pool, src *Tile
 // "zero" half of the fused epilogue's zero+accumulate C discipline, and
 // the scrub for dirty recycled buffers.
 func zeroFill(ctx context.Context, pool *sched.Pool, data []float64) error {
-	return runChunks(ctx, pool, len(data), func(lo, hi int) {
+	return runChunks(ctx, pool, len(data), obs.KindZero, func(lo, hi int) {
 		vZero(data[lo:hi])
 	})
 }
@@ -375,7 +390,7 @@ func scaleCols(pool *sched.Pool, dst *matrix.Dense, alpha float64) error {
 	if alpha == 1 {
 		return nil
 	}
-	return runChunks(context.Background(), pool, dst.Cols, func(lo, hi int) {
+	return runChunks(context.Background(), pool, dst.Cols, obs.KindScale, func(lo, hi int) {
 		dst.ScaleCols(alpha, lo, hi)
 	})
 }
@@ -392,7 +407,7 @@ func packPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, t
 	if srows > dst.Rows || scols > dst.Cols {
 		return fmt.Errorf("core: packPadded destination %dx%d too small for %dx%d", dst.Rows, dst.Cols, srows, scols)
 	}
-	return runChunks(ctx, pool, dst.Cols, func(lo, hi int) {
+	return runChunks(ctx, pool, dst.Cols, obs.KindPack, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dcol := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
 			if j >= scols {
@@ -422,7 +437,7 @@ func packPadded(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, t
 // unpackPaddedAccumulate is UnpackAccumulate's canonical-layout twin:
 // dst += alpha · (logical region of the padded matrix src).
 func unpackPaddedAccumulate(ctx context.Context, pool *sched.Pool, dst, src *matrix.Dense, alpha float64) error {
-	return runChunks(ctx, pool, dst.Cols, func(lo, hi int) {
+	return runChunks(ctx, pool, dst.Cols, obs.KindUnpack, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dcol := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
 			scol := src.Data[j*src.Stride : j*src.Stride+dst.Rows]

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file validates Chrome Trace Event JSON the way Perfetto's
+// importer would: parseable JSON, known phase codes, per-track
+// monotonic timestamps, properly nested complete ('X') events, and
+// balanced B/E pairs. It is shared by the exporter's tests, the
+// obs-gate acceptance test, and cmd/tracecheck (the trace-smoke
+// target), so the format contract lives in exactly one place.
+
+// TraceSummary describes a validated trace.
+type TraceSummary struct {
+	// Events is the total event count, metadata included.
+	Events int
+	// Spans counts complete ('X') events, Instants counts 'i' events,
+	// Meta counts metadata ('M') records.
+	Spans, Instants, Meta int
+	// Tracks is the number of distinct tids carrying spans or instants.
+	Tracks int
+	// Dropped echoes otherData.droppedEvents when present.
+	Dropped int64
+}
+
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Tid  int64   `json:"tid"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	OtherData   struct {
+		DroppedEvents int64 `json:"droppedEvents"`
+	} `json:"otherData"`
+}
+
+// ValidateChromeTrace checks that data is a loadable Chrome Trace
+// Event JSON object and that its timeline is well formed: timestamps
+// non-decreasing per track, X spans nested (no span extends past the
+// span enclosing it), and B/E events balanced per track. It returns a
+// summary of what the trace contains.
+func ValidateChromeTrace(data []byte) (TraceSummary, error) {
+	var sum TraceSummary
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return sum, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return sum, fmt.Errorf("obs: trace has no events")
+	}
+	sum.Dropped = tr.OtherData.DroppedEvents
+
+	lastTS := map[int64]float64{}
+	// stacks holds, per track, the end timestamps of the open X spans.
+	stacks := map[int64][]float64{}
+	beDepth := map[int64]int{}
+	tracks := map[int64]bool{}
+	for i, e := range tr.TraceEvents {
+		sum.Events++
+		if e.Name == "" {
+			return sum, fmt.Errorf("obs: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			sum.Meta++
+			continue
+		case "X", "i", "I", "B", "E":
+		default:
+			return sum, fmt.Errorf("obs: event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		tracks[e.Tid] = true
+		if prev, ok := lastTS[e.Tid]; ok && e.TS < prev {
+			return sum, fmt.Errorf("obs: tid %d timestamps regress at event %d (%s): %.3f after %.3f",
+				e.Tid, i, e.Name, e.TS, prev)
+		}
+		lastTS[e.Tid] = e.TS
+		switch e.Ph {
+		case "X":
+			sum.Spans++
+			if e.Dur < 0 {
+				return sum, fmt.Errorf("obs: event %d (%s) has negative duration", i, e.Name)
+			}
+			st := stacks[e.Tid]
+			for len(st) > 0 && st[len(st)-1] <= e.TS {
+				st = st[:len(st)-1]
+			}
+			end := e.TS + e.Dur
+			// The 1e-6 µs slack absorbs float rounding of the ns → µs
+			// conversion; real overlaps are orders of magnitude larger.
+			if len(st) > 0 && end > st[len(st)-1]+1e-6 {
+				return sum, fmt.Errorf("obs: tid %d span %q [%.3f, %.3f] overlaps its enclosing span ending at %.3f",
+					e.Tid, e.Name, e.TS, end, st[len(st)-1])
+			}
+			stacks[e.Tid] = append(st, end)
+		case "i", "I":
+			sum.Instants++
+		case "B":
+			beDepth[e.Tid]++
+		case "E":
+			beDepth[e.Tid]--
+			if beDepth[e.Tid] < 0 {
+				return sum, fmt.Errorf("obs: tid %d has an E event with no matching B at event %d", e.Tid, i)
+			}
+		}
+	}
+	for tid, d := range beDepth {
+		if d != 0 {
+			return sum, fmt.Errorf("obs: tid %d has %d unclosed B events", tid, d)
+		}
+	}
+	sum.Tracks = len(tracks)
+	return sum, nil
+}

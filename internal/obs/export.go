@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file turns a Tracer's rings into Chrome Trace Event JSON — the
+// JSON Array/Object format Perfetto and chrome://tracing load. Spans
+// become complete ('X') events, instants become 'i' events, and each
+// track gets a thread_name metadata ('M') record. Ring order is span
+// *completion* order (a span is recorded when it ends), so the
+// exporter sorts by (tid, ts, -dur) to restore the start-ordered,
+// outermost-first sequence the viewers and the nesting validator
+// expect.
+
+// event is one decoded ring entry.
+type event struct {
+	tid  int64
+	kind Kind
+	ts   int64 // ns
+	dur  int64 // ns; durInstant marks an instant
+	arg  int64
+}
+
+// events decodes every live ring slot, discarding slots that were
+// never written or that decode as garbage (a torn read from a
+// wraparound collision: wrong kind range or negative timestamp).
+func (t *Tracer) events() []event {
+	var out []event
+	for ri := range t.rings {
+		r := &t.rings[ri]
+		p := r.pos.Load()
+		n := uint64(len(r.buf))
+		if p < n {
+			n = p
+		}
+		for i := p - n; i < p; i++ {
+			s := &r.buf[i&uint64(len(r.buf)-1)]
+			meta := s.meta.Load()
+			k := Kind(meta & 0xff)
+			if meta == 0 || k == 0 || k >= numKinds {
+				continue
+			}
+			ts, dur := s.ts.Load(), s.dur.Load()
+			if ts < 0 || dur < durInstant {
+				continue
+			}
+			out = append(out, event{tid: meta >> 8, kind: k, ts: ts, dur: dur, arg: s.arg.Load()})
+		}
+	}
+	return out
+}
+
+// Export writes the recorded events as Chrome Trace Event JSON. Call
+// it after Uninstall, once traced work has quiesced; exporting while
+// events are still being recorded is memory-safe (slot reads are
+// atomic) but yields an arbitrary cut of the stream.
+func (t *Tracer) Export(w io.Writer) error {
+	evs := t.events()
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return a.dur > b.dur // longer span first: parents precede children
+	})
+
+	type jsonEvent struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int64          `json:"tid"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur,omitempty"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	out := struct {
+		TraceEvents     []jsonEvent    `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"droppedEvents": t.Drops()},
+	}
+
+	// One thread_name metadata record per observed track.
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		if seen[e.tid] {
+			continue
+		}
+		seen[e.tid] = true
+		name := fmt.Sprintf("worker %d", e.tid)
+		if e.tid >= laneBase {
+			name = fmt.Sprintf("call %d", e.tid-laneBase)
+		}
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: e.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range evs {
+		je := jsonEvent{
+			Name: e.kind.String(), Cat: "recmat", Pid: 1, Tid: e.tid,
+			TS: float64(e.ts) / 1e3,
+		}
+		if e.dur == durInstant {
+			je.Ph, je.S = "i", "t"
+		} else {
+			je.Ph = "X"
+			je.Dur = float64(e.dur) / 1e3
+		}
+		if e.arg != 0 {
+			je.Args = map[string]any{"v": e.arg}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

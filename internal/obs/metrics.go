@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics leg of the observability layer: cumulative
+// counters and fixed-bucket histograms aggregated across Engine calls.
+// Everything is updated with atomics and read with Snapshot, so a
+// serving process can scrape a live engine without stopping it, and
+// Publish exposes the whole registry through expvar (i.e. over HTTP
+// via /debug/vars) for free.
+
+// Counter is a cumulative, race-safe int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Bucket i counts
+// observations ≤ Bounds[i]; the final implicit bucket counts overflow.
+// Observe is lock-free: bucket counts and the total are atomic adds,
+// and the float64 sum is a CAS loop.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Default bucket bounds for the driver's metrics.
+var (
+	// SecondsBuckets spans 100µs .. ~100s in half-decade steps.
+	SecondsBuckets = []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30, 100}
+	// GFLOPSBuckets spans sub-1 to beyond any single-node double-precision rate.
+	GFLOPSBuckets = []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	// RatioBuckets covers [0, 1] quantities like worker utilization.
+	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+)
+
+// Registry holds named counters and histograms. The zero value is not
+// usable; create with NewRegistry. Metric creation takes a mutex;
+// updates through the returned handles are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds (which must be sorted ascending) on first use; an
+// existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram. Counts has
+// len(Bounds)+1 entries; the last is the overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a whole registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric. It is safe to call concurrently with
+// updates; each individual value is read atomically, though values
+// observed mid-burst may be one update apart from each other.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(h.sum.Load()),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Publish exposes the registry under the given expvar name (visible at
+// /debug/vars when the process serves HTTP). expvar names are global
+// and permanent, so publishing an already-used name returns an error
+// instead of panicking the process.
+func (r *Registry) Publish(name string) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("obs: expvar name %q is already published", name)
+		}
+	}()
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter(name) did not return the existing handle")
+	}
+	if r.Counter("y") == c {
+		t.Fatal("distinct names share one counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Bucket i counts observations <= Bounds[i]; the last is overflow.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-12) > 1e-12 {
+		t.Fatalf("Sum = %g, want 12", s.Sum)
+	}
+	if math.Abs(s.Mean()-2.4) > 1e-12 {
+		t.Fatalf("Mean() = %g, want 2.4", s.Mean())
+	}
+	// Re-fetching with different bounds keeps the original histogram.
+	if r.Histogram("lat", []float64{9}) != h {
+		t.Fatal("Histogram(name) did not return the existing handle")
+	}
+	if got := len(r.Snapshot().Histograms["lat"].Bounds); got != 3 {
+		t.Fatalf("bounds rewritten on re-fetch: len = %d, want 3", got)
+	}
+}
+
+func TestHistogramMeanEmpty(t *testing.T) {
+	if m := (HistogramSnapshot{}).Mean(); m != 0 {
+		t.Fatalf("empty Mean() = %g, want 0", m)
+	}
+}
+
+// TestStressMetricsConcurrent updates one registry from many
+// goroutines while snapshotting concurrently; run under -race this
+// pins the lock-free update paths, and the final snapshot must show
+// every update exactly once.
+func TestStressMetricsConcurrent(t *testing.T) {
+	const goroutines, iters = 8, 5000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Snapshot()
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("calls")
+			h := r.Histogram("v", SecondsBuckets)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(1e-3)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+
+	s := r.Snapshot()
+	if got := s.Counters["calls"]; got != goroutines*iters {
+		t.Fatalf("calls = %d, want %d", got, goroutines*iters)
+	}
+	h := s.Histograms["v"]
+	if h.Count != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count, goroutines*iters)
+	}
+	if want := 1e-3 * goroutines * iters; math.Abs(h.Sum-want) > 1e-6*want {
+		t.Fatalf("histogram sum = %g, want %g (CAS loop lost updates)", h.Sum, want)
+	}
+}
+
+func TestPublishDuplicateName(t *testing.T) {
+	r := NewRegistry()
+	const name = "recmat_test_metrics_publish"
+	if err := r.Publish(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRegistry().Publish(name); err == nil {
+		t.Fatal("publishing a taken expvar name did not error")
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if got := KindLeaf.String(); got != "leaf" {
+		t.Fatalf("KindLeaf.String() = %q, want %q", got, "leaf")
+	}
+	if got := Kind(0).String(); got != "invalid" {
+		t.Fatalf("Kind(0).String() = %q, want %q", got, "invalid")
+	}
+	if got := numKinds.String(); got != "invalid" {
+		t.Fatalf("numKinds.String() = %q, want %q", got, "invalid")
+	}
+	for k := KindTask; k < numKinds; k++ {
+		if k.String() == "" || k.String() == "invalid" {
+			t.Fatalf("Kind(%d) has no name", k)
+		}
+	}
+}
+
+func TestInstallUninstall(t *testing.T) {
+	if Cur() != nil {
+		t.Fatal("a tracer is already installed at test start")
+	}
+	if err := Install(nil); err == nil {
+		t.Fatal("Install(nil) succeeded")
+	}
+	tr := NewTracer(2, 64)
+	if err := Install(tr); err != nil {
+		t.Fatal(err)
+	}
+	if Cur() != tr {
+		t.Fatal("Cur() does not return the installed tracer")
+	}
+	if err := Install(NewTracer(1, 64)); err == nil {
+		t.Fatal("second Install succeeded while a tracer was active")
+	}
+	// Uninstalling a tracer that is not current must be a no-op.
+	Uninstall(NewTracer(1, 64))
+	if Cur() != tr {
+		t.Fatal("Uninstall of a foreign tracer displaced the active one")
+	}
+	Uninstall(tr)
+	if Cur() != nil {
+		t.Fatal("Cur() non-nil after Uninstall")
+	}
+}
+
+// TestWraparoundDropsOldest pins the overflow contract: when a ring
+// fills, recording keeps going (never blocks, never allocates), the
+// oldest events are overwritten, Drops() counts the loss, and the
+// export both validates and reports the drop count.
+func TestWraparoundDropsOldest(t *testing.T) {
+	const ringCap, total = 8, 20
+	tr := NewTracer(1, ringCap)
+	base := tr.start
+	for i := 0; i < total; i++ {
+		tr.Span(0, KindLeaf, base.Add(time.Duration(i)*time.Millisecond), time.Microsecond, int64(i+1))
+	}
+	if got := tr.Drops(); got != total-ringCap {
+		t.Fatalf("Drops() = %d, want %d", got, total-ringCap)
+	}
+	evs := tr.events()
+	if len(evs) != ringCap {
+		t.Fatalf("decoded %d events, want the newest %d", len(evs), ringCap)
+	}
+	for i, e := range evs {
+		// args were 1..total; survivors must be the newest ringCap.
+		if want := int64(total - ringCap + i + 1); e.arg != want {
+			t.Fatalf("survivor %d has arg %d, want %d (oldest not dropped first)", i, e.arg, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("export after wraparound invalid: %v", err)
+	}
+	if sum.Spans != ringCap || sum.Dropped != total-ringCap {
+		t.Fatalf("summary spans=%d dropped=%d, want %d/%d", sum.Spans, sum.Dropped, ringCap, total-ringCap)
+	}
+}
+
+// TestExportNestedValid records spans in completion order (children
+// finish before their parents) across worker tracks and caller lanes
+// and checks the exporter restores a well-nested, monotonic timeline.
+func TestExportNestedValid(t *testing.T) {
+	tr := NewTracer(2, 256)
+	base := tr.start
+
+	// Worker 0: a leaf inside a task — leaf recorded first, as at runtime.
+	tr.Span(0, KindLeaf, base.Add(10*time.Millisecond), 20*time.Millisecond, 4096)
+	tr.Span(0, KindTask, base, 100*time.Millisecond, 0)
+	tr.Instant(0, KindSteal, 1)
+	// Worker 1: a lone task.
+	tr.Span(1, KindTask, base.Add(time.Millisecond), 5*time.Millisecond, 0)
+	// A caller lane: phases inside the call span, plus a degrade marker.
+	lane := tr.NewLane()
+	tr.LaneSpan(lane, KindConvertIn, base.Add(time.Millisecond), 30*time.Millisecond, 0)
+	tr.LaneSpan(lane, KindGEMM, base, 200*time.Millisecond, 0)
+	tr.LaneInstant(lane, KindDegrade, 0)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, buf.String())
+	}
+	if sum.Spans != 5 || sum.Instants != 2 {
+		t.Fatalf("spans=%d instants=%d, want 5/2", sum.Spans, sum.Instants)
+	}
+	if sum.Tracks != 3 {
+		t.Fatalf("tracks = %d, want 3 (two workers + one lane)", sum.Tracks)
+	}
+	if sum.Meta != 3 {
+		t.Fatalf("thread_name records = %d, want one per track", sum.Meta)
+	}
+	if sum.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", sum.Dropped)
+	}
+}
+
+func TestUnboundAndOversizedWorkers(t *testing.T) {
+	tr := NewTracer(2, 16)
+	// A negative worker id (a Ctx not bound to any pool worker) records
+	// nothing and is not a drop.
+	tr.Span(-1, KindLeaf, tr.start, time.Millisecond, 1)
+	tr.Instant(-1, KindSteal, 0)
+	if n := len(tr.events()); n != 0 {
+		t.Fatalf("unbound-worker events recorded: %d", n)
+	}
+	if tr.Drops() != 0 {
+		t.Fatalf("unbound-worker events counted as drops: %d", tr.Drops())
+	}
+	// A worker id beyond the tracer's size (another pool's worker) folds
+	// onto a configured ring and keeps its own tid.
+	tr.Span(7, KindLeaf, tr.start, time.Millisecond, 1)
+	evs := tr.events()
+	if len(evs) != 1 || evs[0].tid != 7 {
+		t.Fatalf("oversized worker id: events=%v, want one event with tid 7", evs)
+	}
+}
+
+// TestStressTracerConcurrent hammers one tracer from many goroutines
+// while another goroutine exports — tiny rings force constant
+// wraparound collisions. Run under -race this pins the all-atomic slot
+// discipline; the final export must still validate.
+func TestStressTracerConcurrent(t *testing.T) {
+	const workers, iters = 4, 2000
+	tr := NewTracer(workers, 64) // tiny rings: constant wraparound
+	stop := make(chan struct{})
+	exporterDone := make(chan struct{})
+	go func() {
+		defer close(exporterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Export(io.Discard)
+			_ = tr.Drops()
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			lane := tr.NewLane()
+			for i := 0; i < iters; i++ {
+				t0 := time.Now()
+				tr.Span(w, KindLeaf, t0, time.Nanosecond, int64(i))
+				tr.Instant(w, KindSpawn, 0)
+				tr.LaneInstant(lane, KindArena, 64)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	<-exporterDone
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("post-stress export invalid: %v", err)
+	}
+	if tr.Drops() == 0 {
+		t.Fatal("tiny rings under heavy load recorded zero drops — wraparound untested")
+	}
+}

@@ -30,11 +30,14 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // Pool is a fixed set of worker goroutines executing fork–join task
@@ -188,6 +191,18 @@ type worker struct {
 	// slot is worker-local storage handed out through Ctx.WorkerSlot;
 	// only the owning worker touches it, so no locking.
 	slot any
+	// busy accumulates the wall time this worker spent executing
+	// top-level task frames — the achieved-parallelism counterpart of
+	// the theoretical Work/Span accounting. Written by the owner, read
+	// by Pool.BusyNanos, hence atomic.
+	busy atomic.Int64
+	// depth counts nested run() frames on this worker's goroutine
+	// (help-first sync loops and inline children re-enter run inside a
+	// suspended frame). Only the owning goroutine touches it; busy time
+	// is charged only at depth 1, where the interval already covers
+	// everything executed on top of it — charging nested frames too
+	// would double-count.
+	depth int
 }
 
 // Ctx is the execution context of one task frame. It carries the
@@ -223,9 +238,32 @@ func NewPool(workers int) *Pool {
 	}
 	p.wg.Add(workers)
 	for _, w := range p.workers {
-		go w.loop()
+		// Label each worker goroutine so CPU profiles and runtime
+		// traces attribute samples to "recmat_worker: <id>" instead of
+		// an anonymous goroutine soup. The label is applied once per
+		// worker lifetime — zero per-task cost.
+		go func(w *worker) {
+			pprof.Do(context.Background(),
+				pprof.Labels("recmat_worker", strconv.Itoa(w.id)),
+				func(context.Context) { w.loop() })
+		}(w)
 	}
 	return p
+}
+
+// BusyNanos returns the cumulative wall time, in nanoseconds, the
+// pool's workers have spent executing task frames. The difference of
+// two readings divided by (workers × elapsed wall time) is the pool's
+// achieved utilization over that window — the measured complement of
+// the Work/Span parallelism estimate. Time is charged when a top-level
+// frame retires, so a reading taken mid-task does not include that
+// task's partial time.
+func (p *Pool) BusyNanos() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += w.busy.Load()
+	}
+	return n
 }
 
 // Workers returns the pool size.
@@ -308,6 +346,9 @@ func (w *worker) push(t *task) {
 	w.dq = append(w.dq, t)
 	w.mu.Unlock()
 	w.pool.spawns.Add(1)
+	if tr := obs.Cur(); tr != nil {
+		tr.Instant(w.id, obs.KindSpawn, 0)
+	}
 }
 
 // pop removes the most recently pushed task (LIFO), or nil.
@@ -358,6 +399,9 @@ func (w *worker) findTask() *task {
 		if v != w {
 			if t := w.stealFrom(v); t != nil {
 				w.pool.steals.Add(1)
+				if tr := obs.Cur(); tr != nil {
+					tr.Instant(w.id, obs.KindSteal, int64(v.id))
+				}
 				return t
 			}
 		}
@@ -382,6 +426,17 @@ func (w *worker) run(t *task) {
 	t.ctx.w = w
 	j := t.join
 	if !t.ctx.rs.isCancelled() {
+		// Busy accounting and tracing share the frame's clock reads.
+		// Only the owning goroutine touches depth: nested run frames
+		// (inline children, help-first sync work) execute inside this
+		// one, so charging busy time at depth 1 alone covers them.
+		w.depth++
+		tr := obs.Cur()
+		timed := w.depth == 1 || tr != nil
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -391,6 +446,20 @@ func (w *worker) run(t *task) {
 			faultinject.Point("sched.task")
 			t.fn(t.ctx)
 		}()
+		if timed {
+			d := time.Since(t0)
+			if w.depth == 1 {
+				w.busy.Add(int64(d))
+			}
+			if tr != nil {
+				k := obs.KindTask
+				if w.depth > 1 {
+					k = obs.KindNested
+				}
+				tr.Span(w.id, k, t0, d, 0)
+			}
+		}
+		w.depth--
 	}
 	t.fn, t.join, t.ctx = nil, nil, nil
 	taskPool.Put(t)

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/core"
@@ -26,6 +27,14 @@ type Dep struct {
 
 func (d Dep) union(e Dep) Dep {
 	return Dep{A: d.A | e.A, B: d.B | e.B}
+}
+
+// operandBits selects the bitmap for one operand: 'A' or 'B'.
+func (d Dep) operandBits(operand byte) uint64 {
+	if operand == 'B' {
+		return d.B
+	}
+	return d.A
 }
 
 // depMat is an n×n matrix of dependency sets with quadrant views.
@@ -216,13 +225,8 @@ func Reads(alg core.Alg, n int) [][]Dep {
 }
 
 // Count returns the number of elements in a bitmap.
-func Count(bits uint64) int {
-	n := 0
-	for bits != 0 {
-		bits &= bits - 1
-		n++
-	}
-	return n
+func Count(bitmap uint64) int {
+	return bits.OnesCount64(bitmap)
 }
 
 // Render draws the Figure 1 dot-grid for one operand: an n×n grid of
@@ -236,12 +240,9 @@ func Render(deps [][]Dep, operand byte) string {
 	for bi := 0; bi < n; bi++ {
 		for ri := 0; ri < n; ri++ { // row of dots inside the box row
 			for bj := 0; bj < n; bj++ {
-				bits := deps[bi][bj].A
-				if operand == 'B' {
-					bits = deps[bi][bj].B
-				}
+				b := deps[bi][bj].operandBits(operand)
 				for rj := 0; rj < n; rj++ {
-					if bits&(1<<uint(ri*n+rj)) != 0 {
+					if b&(1<<uint(ri*n+rj)) != 0 {
 						sb.WriteByte('*')
 					} else {
 						sb.WriteByte('.')

@@ -1,0 +1,128 @@
+package recmat
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the `make obs-gate` acceptance suite, env-gated behind
+// RECMAT_OBS_GATE because it measures wall time and belongs in the
+// dedicated gate target, not in every `go test ./...` run.
+//
+// The overhead bound is computed in one process rather than by
+// comparing two timed runs: cross-run wall-clock comparison at the 2%
+// level is hopeless on a shared host (individual runs swing far more
+// than 2% between identical binaries). Instead the gate measures the
+// two quantities the disabled-path cost actually factors into —
+// (a) the cost of one disabled tracepoint (an atomic load and a
+// branch), measured in a tight loop, and (b) the number of tracepoints
+// a real multiply executes, counted by tracing that same multiply —
+// and bounds their product against the multiply's wall time.
+
+func obsGateEnabled(t *testing.T) {
+	t.Helper()
+	if os.Getenv("RECMAT_OBS_GATE") == "" {
+		t.Skip("set RECMAT_OBS_GATE=1 to run the observability gates (make obs-gate)")
+	}
+}
+
+// gateWorkload runs the gate's reference multiply: one 512³ Strassen
+// multiply in Z-Morton layout, returning the wall time.
+func gateWorkload(t *testing.T, eng *Engine, A, B *Matrix) time.Duration {
+	t.Helper()
+	C := NewMatrix(512, 512)
+	t0 := time.Now()
+	if _, err := eng.Mul(C, A, B, &Options{Layout: ZMorton, Algorithm: Strassen}); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(t0)
+}
+
+func TestObsGateDisabledOverhead(t *testing.T) {
+	obsGateEnabled(t)
+	eng := NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(41))
+	A := Random(512, 512, rng)
+	B := Random(512, 512, rng)
+
+	// (b) Tracepoint count: trace the workload once and count every
+	// recorded event plus every wrapped-away drop. Each corresponds to
+	// one tracepoint whose disabled form is the Cur() nil check.
+	var buf bytes.Buffer
+	if err := eng.EnableTracing(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gateWorkload(t, eng, A, B)
+	if err := eng.DisableTracing(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := float64(sum.Spans+sum.Instants) + float64(sum.Dropped)
+
+	// (a) Per-tracepoint disabled cost: with no tracer installed,
+	// obs.Cur() in a loop. The atomic load cannot be hoisted, so this
+	// is the real steady-state branch-plus-load cost.
+	const probes = 20_000_000
+	var sink int
+	p0 := time.Now()
+	for i := 0; i < probes; i++ {
+		if tr := obs.Cur(); tr != nil {
+			sink++
+		}
+	}
+	perProbe := time.Since(p0).Seconds() / probes
+	runtime.KeepAlive(sink)
+
+	// Untraced wall time: best of 3 to shed cold-cache noise.
+	wall := gateWorkload(t, eng, A, B)
+	for i := 0; i < 2; i++ {
+		if w := gateWorkload(t, eng, A, B); w < wall {
+			wall = w
+		}
+	}
+
+	overhead := points * perProbe
+	share := overhead / wall.Seconds()
+	t.Logf("disabled-tracer bound: %0.f tracepoints x %.2fns = %v over %v wall (%.4f%%)",
+		points, perProbe*1e9, time.Duration(overhead*1e9), wall, 100*share)
+	if share > 0.02 {
+		t.Fatalf("disabled-tracer overhead bound %.2f%% of n=512 wall exceeds the 2%% gate", 100*share)
+	}
+}
+
+func TestObsGateTraceExport(t *testing.T) {
+	obsGateEnabled(t)
+	eng := NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(42))
+	A := Random(512, 512, rng)
+	B := Random(512, 512, rng)
+
+	var buf bytes.Buffer
+	if err := eng.EnableTracing(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gateWorkload(t, eng, A, B)
+	if err := eng.DisableTracing(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("512³ Strassen trace invalid: %v", err)
+	}
+	if sum.Spans == 0 || sum.Instants == 0 {
+		t.Fatalf("512³ Strassen trace too thin: %+v", sum)
+	}
+	t.Logf("trace: %d events (%d spans, %d instants) on %d tracks, %d dropped",
+		sum.Events, sum.Spans, sum.Instants, sum.Tracks, sum.Dropped)
+}

@@ -112,5 +112,7 @@ func (e *Engine) GEMMPrepacked(ctx context.Context, alpha float64, pa, pb *Plan,
 // GEMMPrepackedOpts is GEMMPrepacked with explicit Options for
 // algorithm, kernel, and cutoff selection (nil = defaults).
 func (e *Engine) GEMMPrepackedOpts(ctx context.Context, opts *Options, alpha float64, pa, pb *Plan, beta float64, C *Matrix) (*Report, error) {
-	return core.GEMMPrepacked(ctx, e.pool, opts.coreOptions(), alpha, pa.p, pb.p, beta, C)
+	co := opts.coreOptions()
+	co.Metrics = e.metrics
+	return core.GEMMPrepacked(ctx, e.pool, co, alpha, pa.p, pb.p, beta, C)
 }
