@@ -1,8 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench bench-kernel fuzz bench-json obs-gate trace-smoke
+.PHONY: check build vet test race stress bench bench-kernel fuzz bench-json obs-gate trace-smoke asm-check
 
-check: build vet race stress obs-gate trace-smoke
+check: build vet race stress obs-gate trace-smoke asm-check
+
+# The assembly hygiene gate. vet's asmdecl checker cross-validates every
+# .s frame layout against its Go declaration; the noasm build and test
+# prove the pure-Go fallback stands alone (it is what non-amd64/arm64
+# hosts and `-tags noasm` users run); the cross-compiles assemble both
+# architectures' kernels so an edit to one .s file cannot silently break
+# the other GOARCH.
+asm-check:
+	$(GO) vet ./internal/leaf
+	$(GO) build -tags noasm ./...
+	$(GO) test -tags noasm ./internal/leaf
+	GOARCH=amd64 $(GO) build ./...
+	GOARCH=arm64 $(GO) build ./...
 
 build:
 	$(GO) build ./...
@@ -38,7 +51,7 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/recmat_trace.json
 
 # The perf-regression gate: re-measure the standard algorithm and
-# compare against the committed BENCH_4.json record. Individual points
+# compare against the committed BENCH_6.json record. Individual points
 # on a shared/bursty host swing ±30% between identical-code runs, so
 # the gate aggregates rather than failing per point: it fails when the
 # geometric-mean GFLOPS ratio regresses >10%, any single point
@@ -56,10 +69,12 @@ trace-smoke:
 # warrants one re-run before treating it as a real regression.
 bench:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard
-	$(GO) run ./cmd/benchdiff -baseline BENCH_4.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15
+	$(GO) run ./cmd/benchdiff -baseline BENCH_6.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15
 
-# The kernel acceptance benchmark: packed kernels vs the paper's
-# unrolled4 at the default tile sizes.
+# The kernel acceptance benchmark: every registered kernel — packed
+# pure-Go tiers and whatever assembly kernels the host unlocked —
+# against the paper's unrolled4, including the 512³ GFLOPS shootout
+# (BenchmarkKernels512) that gates the SIMD step function.
 bench-kernel:
 	$(GO) test -bench 'Kernel' -benchmem ./internal/leaf
 
@@ -68,4 +83,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_4.json -reps 4
+	$(GO) run ./cmd/benchjson -o BENCH_6.json -reps 4

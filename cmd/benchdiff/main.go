@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_4.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
+//	benchdiff -baseline BENCH_6.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
 //
 // Results are keyed on (n, mode, algorithm, layout, kernel); only keys
 // present in both files are compared (records from schema ≤2 files have
 // no mode and compare against mode-less candidates). With -alg set, the
-// comparison is restricted to that algorithm.
+// comparison is restricted to that algorithm. All schemas 1–5 load: the
+// decoder ignores fields a schema lacks, per-schema gates arm only when
+// both files carry the data, and schema 5's cpu_features is metadata
+// only — kernels present in just one file (e.g. an assembly kernel the
+// baseline host lacked) simply don't form a compared key.
 //
 // Cross-file point-by-point comparison on a shared host is dominated by
 // burstiness (individual points swing ±30% between identical-code

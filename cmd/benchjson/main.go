@@ -1,12 +1,12 @@
 // benchjson measures end-to-end GFLOPS for every {algorithm, layout,
 // kernel} combination at fixed problem sizes and writes the results as
 // JSON — the machine-readable record of the repo's performance
-// trajectory (BENCH_4.json at the repo root is its committed output).
+// trajectory (BENCH_6.json at the repo root is its committed output).
 //
 // Usage:
 //
-//	benchjson [-o BENCH_4.json] [-sizes 512,1024] [-reps 2]
-//	          [-algs standard,strassen,winograd] [-kernels unrolled4,blocked,packed8x4,auto]
+//	benchjson [-o BENCH_6.json] [-sizes 512,1024] [-reps 2]
+//	          [-algs standard,strassen,winograd] [-kernels unrolled4,...,auto]
 //	          [-serve-b 48] [-serve-layout hilbert]
 //
 // GFLOPS are computed from 2n³ over the end-to-end time (conversion
@@ -30,6 +30,12 @@
 // Schema 4 adds the scheduler telemetry of the best rep: spawned and
 // stolen task counts and the pool's worker utilization over the call
 // (busy worker-time / workers × wall).
+//
+// Schema 5 adds the host's detected SIMD capabilities (cpu_features)
+// and, by default, sweeps the hardware micro-kernels the CPU unlocked
+// ("avx2" on amd64, "neon" on arm64) alongside the pure-Go set — two
+// records on different machines are only comparable once you know
+// which instruction sets were in play.
 package main
 
 import (
@@ -119,8 +125,13 @@ type output struct {
 	// triple-loop matmul measured just before the sweep. Comparison
 	// tools (cmd/benchdiff) divide it out so that two records taken at
 	// different host clock speeds remain comparable.
-	RefGFLOPS float64  `json:"ref_gflops"`
-	Results   []result `json:"results"`
+	RefGFLOPS float64 `json:"ref_gflops"`
+	// CPUFeatures names the SIMD capabilities detected on the host
+	// (schema 5) — empty on architectures without a probe. Records the
+	// hardware, not the sweep: a run under RECMAT_NOSIMD still lists the
+	// features even though no assembly kernel was measured.
+	CPUFeatures []string `json:"cpu_features"`
+	Results     []result `json:"results"`
 }
 
 // refGFLOPS measures the yardstick: best of several reps of a 96³
@@ -158,10 +169,15 @@ func refGFLOPS() float64 {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output file (- for stdout)")
+	// The default kernel sweep races the paper's kernel and the best
+	// pure-Go tiers against whatever assembly kernels this host
+	// registered, then "auto" to record what the autotuner picks.
+	defaultKernels := append([]string{"unrolled4", "blocked", "packed8x4"}, recmat.SIMDKernels()...)
+	defaultKernels = append(defaultKernels, "auto")
+	out := flag.String("o", "BENCH_6.json", "output file (- for stdout)")
 	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
 	algsFlag := flag.String("algs", "standard,strassen,winograd", "comma-separated algorithms")
-	kernelsFlag := flag.String("kernels", "unrolled4,blocked,packed8x4,auto", "comma-separated kernels (auto = autotuned)")
+	kernelsFlag := flag.String("kernels", strings.Join(defaultKernels, ","), "comma-separated kernels (auto = autotuned)")
 	layoutsFlag := flag.String("layouts", "", "comma-separated layouts (default: all six)")
 	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
 	reps := flag.Int("reps", 2, "repetitions per point (best is kept)")
@@ -198,16 +214,18 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:    4,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Workers:   eng.Workers(),
-		Reps:      *reps,
-		RefGFLOPS: refGFLOPS(),
+		Schema:      5,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Workers:     eng.Workers(),
+		Reps:        *reps,
+		RefGFLOPS:   refGFLOPS(),
+		CPUFeatures: recmat.CPUFeatures(),
 	}
-	fmt.Fprintf(os.Stderr, "host yardstick: %.3f GFLOPS (serial 96^3 in-cache)\n", o.RefGFLOPS)
+	fmt.Fprintf(os.Stderr, "host yardstick: %.3f GFLOPS (serial 96^3 in-cache), cpu features %v\n",
+		o.RefGFLOPS, o.CPUFeatures)
 
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(*seed))

@@ -96,6 +96,11 @@ const (
 	metricTotalSeconds       = "total_seconds"
 	metricGFLOPS             = "gflops"
 	metricUtilization        = "worker_utilization"
+	// metricKernelCallsPrefix labels calls by the leaf kernel that
+	// actually ran (e.g. kernel_calls_avx2) — with runtime CPU dispatch
+	// and autotuning in front of the kernels, traces and scrapes must
+	// show which implementation executed, not which was requested.
+	metricKernelCallsPrefix = "kernel_calls_"
 )
 
 // recordCallMetrics aggregates one finished driver call into the
@@ -113,6 +118,9 @@ func recordCallMetrics(m *obs.Registry, stats *Stats, err error, wall time.Durat
 	}
 	if stats == nil {
 		return
+	}
+	if stats.Kernel != "" {
+		m.Counter(metricKernelCallsPrefix + stats.Kernel).Inc()
 	}
 	m.Counter(metricDegradations).Add(int64(len(stats.Degraded)))
 	m.Counter(metricPoolHits).Add(int64(stats.PoolHits))

@@ -1,0 +1,136 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// The AVX2/FMA 8×4 micro-kernels. Register plan (both variants):
+//
+//	Y0..Y7   the 8×4 C block: column j rows 0-3 in Y(2j), rows 4-7 in
+//	         Y(2j+1). Loaded before the k loop, stored once after — the
+//	         accumulate (C += A·B) contract with no separate epilogue add.
+//	Y8, Y9   the 8 A values of the current k step.
+//	Y10..Y13 the 4 B values of the current k step, broadcast.
+//
+// Eight independent FMA chains keep both FMA pipes saturated (latency 4,
+// throughput 2/cycle needs ≥ 8 in flight). The k loop is not unrolled:
+// 6 loads + 8 FMAs per step already bound the loop on the FMA ports.
+
+// func micro8x4ppAVX2(kc int, pa, pb []float64, c []float64, ldc int)
+//
+// Packed panels: A advances 8 doubles and B 4 doubles per k step.
+TEXT ·micro8x4ppAVX2(SB), NOSPLIT, $0-88
+	MOVQ kc+0(FP), CX
+	MOVQ pa_base+8(FP), SI
+	MOVQ pb_base+32(FP), DX
+	MOVQ c_base+56(FP), DI
+	MOVQ ldc+80(FP), R8
+	SHLQ $3, R8              // ldc in bytes
+	LEAQ (R8)(R8*2), R9      // 3·ldc in bytes
+
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD (DI)(R8*1), Y2
+	VMOVUPD 32(DI)(R8*1), Y3
+	VMOVUPD (DI)(R8*2), Y4
+	VMOVUPD 32(DI)(R8*2), Y5
+	VMOVUPD (DI)(R9*1), Y6
+	VMOVUPD 32(DI)(R9*1), Y7
+
+	TESTQ CX, CX
+	JLE   pp_done
+
+pp_loop:
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (DX), Y10
+	VBROADCASTSD 8(DX), Y11
+	VBROADCASTSD 16(DX), Y12
+	VBROADCASTSD 24(DX), Y13
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y10, Y9, Y1
+	VFMADD231PD  Y11, Y8, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VFMADD231PD  Y12, Y8, Y4
+	VFMADD231PD  Y12, Y9, Y5
+	VFMADD231PD  Y13, Y8, Y6
+	VFMADD231PD  Y13, Y9, Y7
+	ADDQ         $64, SI
+	ADDQ         $32, DX
+	DECQ         CX
+	JNZ          pp_loop
+
+pp_done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, (DI)(R8*1)
+	VMOVUPD Y3, 32(DI)(R8*1)
+	VMOVUPD Y4, (DI)(R8*2)
+	VMOVUPD Y5, 32(DI)(R8*2)
+	VMOVUPD Y6, (DI)(R9*1)
+	VMOVUPD Y7, 32(DI)(R9*1)
+	VZEROUPPER
+	RET
+
+// func micro8x4ddAVX2(kc int, a []float64, lda int, b0, b1, b2, b3 []float64, c []float64, ldc int)
+//
+// Direct contiguous tiles: A advances lda doubles per k step (the 8
+// loaded values are still contiguous), each B column pointer one double.
+TEXT ·micro8x4ddAVX2(SB), NOSPLIT, $0-168
+	MOVQ kc+0(FP), CX
+	MOVQ a_base+8(FP), SI
+	MOVQ lda+32(FP), AX
+	SHLQ $3, AX              // A column stride in bytes
+	MOVQ b0_base+40(FP), R10
+	MOVQ b1_base+64(FP), R11
+	MOVQ b2_base+88(FP), R12
+	MOVQ b3_base+112(FP), R13
+	MOVQ c_base+136(FP), DI
+	MOVQ ldc+160(FP), R8
+	SHLQ $3, R8              // ldc in bytes
+	LEAQ (R8)(R8*2), R9      // 3·ldc in bytes
+
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD (DI)(R8*1), Y2
+	VMOVUPD 32(DI)(R8*1), Y3
+	VMOVUPD (DI)(R8*2), Y4
+	VMOVUPD 32(DI)(R8*2), Y5
+	VMOVUPD (DI)(R9*1), Y6
+	VMOVUPD 32(DI)(R9*1), Y7
+
+	TESTQ CX, CX
+	JLE   dd_done
+
+dd_loop:
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (R10), Y10
+	VBROADCASTSD (R11), Y11
+	VBROADCASTSD (R12), Y12
+	VBROADCASTSD (R13), Y13
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y10, Y9, Y1
+	VFMADD231PD  Y11, Y8, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VFMADD231PD  Y12, Y8, Y4
+	VFMADD231PD  Y12, Y9, Y5
+	VFMADD231PD  Y13, Y8, Y6
+	VFMADD231PD  Y13, Y9, Y7
+	ADDQ         AX, SI
+	ADDQ         $8, R10
+	ADDQ         $8, R11
+	ADDQ         $8, R12
+	ADDQ         $8, R13
+	DECQ         CX
+	JNZ          dd_loop
+
+dd_done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, (DI)(R8*1)
+	VMOVUPD Y3, 32(DI)(R8*1)
+	VMOVUPD Y4, (DI)(R8*2)
+	VMOVUPD Y5, 32(DI)(R8*2)
+	VMOVUPD Y6, (DI)(R9*1)
+	VMOVUPD Y7, 32(DI)(R9*1)
+	VZEROUPPER
+	RET

@@ -1,0 +1,60 @@
+//go:build amd64 && !noasm
+
+package leaf
+
+// CPU-feature detection for the amd64 assembly kernels, stdlib-only:
+// the CPUID and XGETBV instructions are issued directly from
+// cpuid_amd64.s. The AVX2/FMA kernel needs all of
+//
+//   - FMA  (CPUID.1:ECX bit 12) — the VFMADD231PD instruction,
+//   - AVX  (CPUID.1:ECX bit 28) — the VEX 256-bit encoding,
+//   - AVX2 (CPUID.7.0:EBX bit 5) — 256-bit VBROADCASTSD from memory,
+//   - OSXSAVE (CPUID.1:ECX bit 27) plus XCR0 bits 1–2 — the OS saves
+//     and restores the XMM/YMM halves of the vector state across
+//     context switches. Without this check, an OS that never enabled
+//     AVX state would corrupt registers mid-computation.
+
+// cpuid executes CPUID with the given leaf and sub-leaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// cpuAVX2FMA is probed once at package init.
+var cpuAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const fma, osxsave, avx = 1 << 12, 1 << 27, 1 << 28
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// archFeatures reports the probed SIMD capabilities of this CPU.
+func archFeatures() []string {
+	if cpuAVX2FMA {
+		return []string{"avx2", "fma"}
+	}
+	return nil
+}
+
+// archSIMD returns the assembly kernel families this CPU can run.
+func archSIMD() []simdImpl {
+	if !cpuAVX2FMA {
+		return nil
+	}
+	return []simdImpl{{name: "avx2", mk: microAVX2, features: "avx2+fma"}}
+}

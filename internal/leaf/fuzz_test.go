@@ -44,6 +44,12 @@ func FuzzKernelsVsNaive(f *testing.F) {
 		want := append([]float64(nil), c0...)
 		Naive(m, n, k, a, lda, b, ldb, want, ldc)
 		tol := 1e-12 * float64(k+1)
+		// Registry-driven: every registered kernel is checked against the
+		// reference, with exactly one exception — the reference itself.
+		// The count assertion fails loudly if a future registration path
+		// somehow skips a kernel, so new assembly kernels cannot dodge
+		// differential coverage by accident.
+		checked := 0
 		for _, name := range Names() {
 			if name == "naive" {
 				continue
@@ -60,12 +66,19 @@ func FuzzKernelsVsNaive(f *testing.F) {
 						name, m, n, k, lda, ldb, ldc, i, d)
 				}
 			}
+			checked++
+		}
+		if checked != len(Names())-1 {
+			t.Fatalf("differentially checked %d kernels, registry has %d (naive excluded): a registered kernel was silently skipped",
+				checked, len(Names())-1)
 		}
 	})
 }
 
-// TestNamesSorted pins the deterministic ordering contract of Names:
-// sorted, duplicate-free, and containing every kernel this PR added.
+// TestNamesSorted pins the deterministic ordering contract of Names —
+// sorted and duplicate-free — and that the registry contains the
+// pure-Go baseline set plus every assembly kernel the host unlocked
+// (SIMDNames), without hardcoding the per-architecture names.
 func TestNamesSorted(t *testing.T) {
 	names := Names()
 	for i := 1; i < len(names); i++ {
@@ -76,6 +89,9 @@ func TestNamesSorted(t *testing.T) {
 	want := map[string]bool{
 		"naive": true, "unrolled4": true, "axpy": true,
 		"blocked": true, "packed4x4": true, "packed8x4": true,
+	}
+	for _, n := range SIMDNames() {
+		want[n] = true
 	}
 	for _, n := range names {
 		delete(want, n)

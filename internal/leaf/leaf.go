@@ -171,7 +171,10 @@ type Impl struct {
 }
 
 // kernels is the registry of named kernels used by the command-line
-// tools, the autotuner, and the Figure 7 experiment.
+// tools, the autotuner, and the Figure 7 experiment. The pure-Go
+// kernels below are always present; the architecture-specific assembly
+// kernels ("avx2" on amd64, "neon" on arm64) are added at init by
+// simd.go when the CPU supports them and RECMAT_NOSIMD is unset.
 var kernels = map[string]Impl{
 	"naive":     {Name: "naive", Kern: Naive},
 	"unrolled4": {Name: "unrolled4", Kern: Unrolled4},
@@ -213,8 +216,8 @@ func GetImpl(name string) (Impl, error) {
 // Default is the kernel the paper's experiments use unless overridden:
 // the four-way-unrolled routine. The driver's default is the autotuned
 // selection (see Auto); Default remains the fixed-kernel baseline.
+// There is deliberately no fixed "best" kernel any more (the old
+// `Best = Blocked4x4` predated the packed and assembly kernels and had
+// gone stale): callers that want the fastest kernel for a shape resolve
+// it through Auto/Calibrate, which measures on the actual host.
 var Default Kernel = Unrolled4
-
-// Best is the register-blocked kernel playing the role of the native
-// BLAS in experiments that need a tuned baseline.
-var Best Kernel = Blocked4x4

@@ -19,8 +19,33 @@ const (
 // multiplication performs no allocation at all.
 type ScratchKernel func(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int)
 
+// microImpl describes one register-blocked micro-kernel family: the
+// MR-row block height plus the two storage-variant inner loops the
+// packing driver dispatches to. The pure-Go families (microGo4/microGo8)
+// and the architecture-specific assembly families (simd_*.go) all plug
+// into the same packedMul/directMul driver, so every kernel shares one
+// packing, fringe, and fast-path policy.
+type microImpl struct {
+	mr int
+	// pp: C[0:mr,0:4] += Apanel·Bpanel on packed panels (pack.go format).
+	pp func(kc int, pa, pb []float64, c []float64, ldc int)
+	// dd: C[0:mr,0:4] += A·B reading contiguous tiles in place; a is
+	// positioned at the block's first row with column stride lda, b0..b3
+	// are the four B columns.
+	dd func(kc int, a []float64, lda int, b0, b1, b2, b3 []float64, c []float64, ldc int)
+	// dd4, when non-nil, is a half-height (4-row) direct kernel used for
+	// the m%mr fringe that still fits a 4×4 micro-tile (mr == 8 only).
+	dd4 func(kc int, a []float64, lda int, b0, b1, b2, b3 []float64, c []float64, ldc int)
+}
+
+// The pure-Go micro-kernel families behind packed4x4 and packed8x4.
+var (
+	microGo4 = &microImpl{mr: 4, pp: micro4x4pp, dd: micro4x4dd}
+	microGo8 = &microImpl{mr: 8, pp: micro8x4pp, dd: micro8x4dd, dd4: micro4x4dd}
+)
+
 // packedMul is the shared body of the packed kernels: C += A·B through
-// MR×4 register-blocked micro-tiles.
+// MR×4 register-blocked micro-tiles of the mk family.
 //
 // Fast path: when both operands are contiguous column-major tiles
 // (lda == m and ldb == k) — precisely what the recursive layouts produce
@@ -28,13 +53,14 @@ type ScratchKernel func(s *Scratch, m, n, k int, a []float64, lda int, b []float
 // in place. Otherwise (canonical layouts, where a leaf is a strided view
 // into the full matrix) both operands are packed once into s, after which
 // every k step of the inner loop is contiguous.
-func packedMul(s *Scratch, mr int, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+func packedMul(s *Scratch, mk *microImpl, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	const nr = MicroN
+	mr := mk.mr
 	if m <= 0 || n <= 0 || k <= 0 {
 		return
 	}
 	if lda == m && ldb == k {
-		directMul(mr, m, n, k, a, b, c, ldc)
+		directMul(mk, m, n, k, a, b, c, ldc)
 		return
 	}
 	mp := (m + mr - 1) / mr * mr
@@ -50,12 +76,9 @@ func packedMul(s *Scratch, mr int, m, n, k int, a []float64, lda int, b []float6
 			pap := s.pa[(i0/mr)*mr*k:]
 			mcur := min(mr, m-i0)
 			cc := c[j0*ldc+i0:]
-			switch {
-			case mcur == mr && ncur == nr && mr == 8:
-				micro8x4pp(k, pap, pbp, cc, ldc)
-			case mcur == mr && ncur == nr:
-				micro4x4pp(k, pap, pbp, cc, ldc)
-			default:
+			if mcur == mr && ncur == nr {
+				mk.pp(k, pap, pbp, cc, ldc)
+			} else {
 				microEdge(mcur, ncur, k, pap, mr, pbp, nr, 1, cc, ldc)
 			}
 		}
@@ -64,8 +87,9 @@ func packedMul(s *Scratch, mr int, m, n, k int, a []float64, lda int, b []float6
 
 // directMul runs the micro-kernels in place on contiguous tiles
 // (lda == m, ldb == k) — no packing, no scratch.
-func directMul(mr, m, n, k int, a, b, c []float64, ldc int) {
+func directMul(mk *microImpl, m, n, k int, a, b, c []float64, ldc int) {
 	const nr = MicroN
+	mr := mk.mr
 	j0 := 0
 	for ; j0+nr <= n; j0 += nr {
 		b0 := b[j0*k : j0*k+k]
@@ -73,17 +97,11 @@ func directMul(mr, m, n, k int, a, b, c []float64, ldc int) {
 		b2 := b[(j0+2)*k : (j0+2)*k+k]
 		b3 := b[(j0+3)*k : (j0+3)*k+k]
 		i0 := 0
-		if mr == 8 {
-			for ; i0+8 <= m; i0 += 8 {
-				micro8x4dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
-			}
-		} else {
-			for ; i0+4 <= m; i0 += 4 {
-				micro4x4dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
-			}
+		for ; i0+mr <= m; i0 += mr {
+			mk.dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
 		}
-		if i0+4 <= m { // 8×4 fringe that still fits a 4×4 micro-tile
-			micro4x4dd(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
+		if mk.dd4 != nil && i0+4 <= m { // mr×4 fringe that still fits a 4×4 micro-tile
+			mk.dd4(k, a[i0:], m, b0, b1, b2, b3, c[j0*ldc+i0:], ldc)
 			i0 += 4
 		}
 		if i0 < m {
@@ -101,21 +119,35 @@ func directMul(mr, m, n, k int, a, b, c []float64, ldc int) {
 // driver bypasses this pool entirely via the ScratchKernel form.
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
+// kernelPair builds the plain-Kernel (pooled scratch) and ScratchKernel
+// forms of the packedMul driver over one micro-kernel family.
+func kernelPair(mk *microImpl) (Kernel, ScratchKernel) {
+	kern := func(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+		s := scratchPool.Get().(*Scratch)
+		packedMul(s, mk, m, n, k, a, lda, b, ldb, c, ldc)
+		scratchPool.Put(s)
+	}
+	skern := func(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+		packedMul(s, mk, m, n, k, a, lda, b, ldb, c, ldc)
+	}
+	return kern, skern
+}
+
 // PackedScratch4x4 is the 4×4 packed kernel in ScratchKernel form.
 func PackedScratch4x4(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	packedMul(s, 4, m, n, k, a, lda, b, ldb, c, ldc)
+	packedMul(s, microGo4, m, n, k, a, lda, b, ldb, c, ldc)
 }
 
 // PackedScratch8x4 is the 8×4 packed kernel in ScratchKernel form.
 func PackedScratch8x4(s *Scratch, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	packedMul(s, 8, m, n, k, a, lda, b, ldb, c, ldc)
+	packedMul(s, microGo8, m, n, k, a, lda, b, ldb, c, ldc)
 }
 
 // Packed4x4 is the packed-panel kernel with a 4×4 register block,
 // self-managing its scratch through a pool.
 func Packed4x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	s := scratchPool.Get().(*Scratch)
-	packedMul(s, 4, m, n, k, a, lda, b, ldb, c, ldc)
+	packedMul(s, microGo4, m, n, k, a, lda, b, ldb, c, ldc)
 	scratchPool.Put(s)
 }
 
@@ -123,7 +155,7 @@ func Packed4x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []floa
 // self-managing its scratch through a pool.
 func Packed8x4(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	s := scratchPool.Get().(*Scratch)
-	packedMul(s, 8, m, n, k, a, lda, b, ldb, c, ldc)
+	packedMul(s, microGo8, m, n, k, a, lda, b, ldb, c, ldc)
 	scratchPool.Put(s)
 }
 

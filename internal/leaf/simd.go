@@ -1,0 +1,75 @@
+package leaf
+
+import (
+	"os"
+	"sort"
+)
+
+// Runtime CPU dispatch for the hardware micro-kernels.
+//
+// Each GOARCH with assembly kernels (currently amd64 with AVX2/FMA and
+// arm64 with NEON) provides two hooks behind the `!noasm` build tag:
+//
+//   - archFeatures() — the SIMD capabilities the CPU and OS actually
+//     support, probed once at startup (CPUID + XGETBV on amd64, the
+//     auxv HWCAP vector on linux/arm64). Purely informational: it is
+//     reported through Features regardless of whether the kernels are
+//     enabled, so benchmark records always describe the hardware.
+//   - archSIMD() — the micro-kernel families the probe unlocked, as
+//     registry entries. A family plugs into the same packedMul driver
+//     as the pure-Go kernels, so it inherits the packed-panel format,
+//     the contiguous-tile fast path, and the scalar fringe handling
+//     for m%MR / n%NR edges.
+//
+// Other GOARCHes, and any build with `-tags noasm`, compile the stub
+// hooks in simd_noasm.go instead: no features, no kernels, pure Go
+// everywhere. Setting RECMAT_NOSIMD (to any non-empty value) is the
+// runtime equivalent: the assembly kernels are left out of the registry
+// and the autotuner candidates, so every selection path — explicit
+// KernelName, Calibrate, Auto — resolves to pure Go.
+
+// simdImpl is one architecture-specific kernel implementation surfaced
+// by archSIMD: the registry name, the micro-kernel family, and the CPU
+// features it requires (informational, shown in docs and benches).
+type simdImpl struct {
+	name     string
+	mk       *microImpl
+	features string
+}
+
+// simdNames lists the assembly kernels registered on this host, sorted.
+// Empty when the CPU lacks the features, under `-tags noasm`, on other
+// GOARCHes, or with RECMAT_NOSIMD set.
+var simdNames []string
+
+func init() {
+	if os.Getenv("RECMAT_NOSIMD") != "" {
+		return
+	}
+	for _, si := range archSIMD() {
+		kern, skern := kernelPair(si.mk)
+		kernels[si.name] = Impl{Name: si.name, Kern: kern, Scratch: skern}
+		simdNames = append(simdNames, si.name)
+		candidates = append(candidates, si.name)
+	}
+	sort.Strings(simdNames)
+}
+
+// Features reports the SIMD capabilities detected on the host CPU, in
+// sorted order. It describes the hardware, not the configuration: the
+// list is unaffected by RECMAT_NOSIMD (use SIMDNames to see what is
+// actually runnable). Empty on GOARCHes without a probe and under
+// `-tags noasm` (the probe itself needs assembly).
+func Features() []string {
+	fs := append([]string(nil), archFeatures()...)
+	sort.Strings(fs)
+	return fs
+}
+
+// SIMDNames returns the names of the assembly kernels registered on
+// this host, in sorted order — the subset of Names() that dispatches to
+// hardware micro-kernels. Empty when none are available or when
+// RECMAT_NOSIMD disabled them.
+func SIMDNames() []string {
+	return append([]string(nil), simdNames...)
+}

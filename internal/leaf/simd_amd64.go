@@ -1,0 +1,28 @@
+//go:build amd64 && !noasm
+
+package leaf
+
+// The AVX2/FMA micro-kernel family: an 8×4 block of C held in eight YMM
+// accumulators (two 4-double registers per column) while streaming
+// through k with VFMADD231PD. Both variants load the C block up front,
+// accumulate into registers, and store once at the end — one rounding
+// reordering versus the pure-Go kernels (C joins the sum first instead
+// of last), well inside the differential-fuzz tolerance. The half-height
+// direct fringe reuses the pure-Go 4×4 kernel: fringes are rare by
+// construction (tile selection is biased to multiples of MicroM/MicroN)
+// and not worth a second assembly body.
+var microAVX2 = &microImpl{mr: 8, pp: micro8x4ppAVX2, dd: micro8x4ddAVX2, dd4: micro4x4dd}
+
+// micro8x4ppAVX2 is micro8x4pp in AVX2/FMA assembly: packed panels, so
+// each k step reads 8+4 contiguous doubles (two YMM loads of A, four
+// broadcast loads of B). kc must be ≥ 0; c must expose a full 8×4 block.
+//
+//go:noescape
+func micro8x4ppAVX2(kc int, pa, pb []float64, c []float64, ldc int)
+
+// micro8x4ddAVX2 is micro8x4dd in AVX2/FMA assembly: contiguous tiles
+// read in place, A advancing by lda doubles per k step and the four B
+// columns by one.
+//
+//go:noescape
+func micro8x4ddAVX2(kc int, a []float64, lda int, b0, b1, b2, b3 []float64, c []float64, ldc int)

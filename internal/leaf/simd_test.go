@@ -1,0 +1,170 @@
+package leaf
+
+import (
+	"math/rand"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestSIMDRegistration pins the dispatch wiring: every assembly kernel
+// the probe unlocked is resolvable through the registry, distinct from
+// the pure-Go set, and present among the autotuner candidates (so
+// Calibrate actually races it).
+func TestSIMDRegistration(t *testing.T) {
+	pure := map[string]bool{"naive": true, "unrolled4": true, "axpy": true,
+		"blocked": true, "packed4x4": true, "packed8x4": true}
+	for _, name := range SIMDNames() {
+		if pure[name] {
+			t.Errorf("SIMD kernel %q collides with a pure-Go kernel name", name)
+		}
+		if _, err := GetImpl(name); err != nil {
+			t.Errorf("SIMD kernel %q not resolvable: %v", name, err)
+		}
+		found := false
+		for _, c := range candidates {
+			if c == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("SIMD kernel %q missing from autotuner candidates %v", name, candidates)
+		}
+	}
+	if (runtime.GOARCH == "amd64" || runtime.GOARCH == "arm64") &&
+		len(archFeatures()) > 0 && len(SIMDNames()) == 0 {
+		t.Errorf("features %v detected but no SIMD kernel registered", Features())
+	}
+}
+
+// TestSIMDFringes differentially checks the assembly kernels on shapes
+// chosen to hit every fringe path: m%MR and n%NR remainders, half-height
+// (4-row) direct fringes, single rows/columns, and k values that leave
+// the micro-loop after 0 or 1 iterations — on both contiguous tiles
+// (the direct path) and strided views (the packed-panel path).
+func TestSIMDFringes(t *testing.T) {
+	if len(SIMDNames()) == 0 {
+		t.Skip("no SIMD kernels on this host")
+	}
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{8, 4, 8}, {16, 8, 16}, // on-grid
+		{9, 5, 7}, {15, 7, 9}, {23, 9, 31}, // off both grids
+		{12, 4, 8}, {20, 8, 4}, // 4-row direct fringe of the 8-row kernel
+		{1, 1, 1}, {1, 17, 3}, {33, 1, 29}, // degenerate rows/cols
+		{7, 3, 1}, {5, 5, 2}, // tiny k
+	}
+	for _, name := range SIMDNames() {
+		kern, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shapes {
+			m, n, k := sh[0], sh[1], sh[2]
+			A := matrix.Random(m, k, rng)
+			B := matrix.Random(k, n, rng)
+			for _, strided := range []bool{false, true} {
+				av, bv := A, B
+				if strided {
+					bigA := matrix.Random(m+5, k+3, rng)
+					bigB := matrix.Random(k+2, n+7, rng)
+					av, bv = bigA.View(1, 2, m, k), bigB.View(0, 3, k, n)
+					av.CopyFrom(A)
+					bv.CopyFrom(B)
+				}
+				C := matrix.Random(m, n, rng)
+				want := C.Clone()
+				matrix.RefMulAdd(want, A, B)
+				kern(m, n, k, av.Data, av.Stride, bv.Data, bv.Stride, C.Data, C.Stride)
+				if !matrix.Equal(C, want, 1e-12*float64(k+1)) {
+					t.Errorf("%s wrong at %dx%dx%d strided=%v (max diff %g)",
+						name, m, n, k, strided, matrix.MaxAbsDiff(C, want))
+				}
+			}
+		}
+	}
+}
+
+// TestNoSIMDEnv verifies the RECMAT_NOSIMD escape hatch end to end in a
+// child process (registration happens at package init, so the env var
+// must be set before the process starts): with it set, no assembly
+// kernel is registered, lookup of the asm names fails, and Calibrate
+// resolves to a pure-Go kernel.
+func TestNoSIMDEnv(t *testing.T) {
+	if os.Getenv("RECMAT_LEAF_NOSIMD_CHILD") == "1" {
+		if n := SIMDNames(); len(n) != 0 {
+			t.Fatalf("RECMAT_NOSIMD set but SIMD kernels registered: %v", n)
+		}
+		for _, name := range []string{"avx2", "neon"} {
+			if _, err := Get(name); err == nil {
+				t.Errorf("RECMAT_NOSIMD set but kernel %q still resolvable", name)
+			}
+		}
+		pure := map[string]bool{"naive": true, "unrolled4": true, "axpy": true,
+			"blocked": true, "packed4x4": true, "packed8x4": true}
+		if got := Calibrate(64, 64, 64); !pure[got] {
+			t.Errorf("Calibrate under RECMAT_NOSIMD selected %q, want a pure-Go kernel", got)
+		}
+		return
+	}
+	if len(SIMDNames()) == 0 {
+		t.Skip("no SIMD kernels on this host; the escape hatch is a no-op")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestNoSIMDEnv$", "-test.v")
+	cmd.Env = append(os.Environ(), "RECMAT_NOSIMD=1", "RECMAT_LEAF_NOSIMD_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process under RECMAT_NOSIMD failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PASS") {
+		t.Fatalf("child process did not pass:\n%s", out)
+	}
+}
+
+// TestFeaturesSorted pins the Features contract: sorted, stable across
+// calls, and safe to mutate the returned slice.
+func TestFeaturesSorted(t *testing.T) {
+	fs := Features()
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1] >= fs[i] {
+			t.Errorf("Features() not sorted: %q before %q", fs[i-1], fs[i])
+		}
+	}
+	if len(fs) > 0 {
+		fs[0] = "clobbered"
+		if Features()[0] == "clobbered" {
+			t.Error("Features() returned shared backing storage")
+		}
+	}
+}
+
+// BenchmarkKernels512 is the acceptance benchmark for the hardware
+// kernels: every registered kernel (naive excluded — it would dominate
+// the run for no information) on a contiguous 512³ leaf multiply, with
+// GFLOPS reported. The SIMD step function shows up here as the asm
+// kernel clearing ≥ 2× the best pure-Go kernel.
+func BenchmarkKernels512(b *testing.B) {
+	const n = 512
+	for _, name := range Names() {
+		if name == "naive" {
+			continue
+		}
+		kern, _ := Get(name)
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			A := matrix.Random(n, n, rng)
+			B := matrix.Random(n, n, rng)
+			C := matrix.New(n, n)
+			flops := 2 * float64(n) * float64(n) * float64(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kern(n, n, n, A.Data, A.Stride, B.Data, B.Stride, C.Data, C.Stride)
+			}
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}

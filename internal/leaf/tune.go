@@ -16,7 +16,9 @@ import (
 
 // candidates are the kernels the autotuner measures, cheapest-to-probe
 // subset of the registry: Naive is excluded (never competitive, and
-// probing it at large tiles is pure waste).
+// probing it at large tiles is pure waste). The assembly kernels the
+// CPU supports are appended at init (simd.go), so the autotuner always
+// races pure Go against whatever the hardware offers.
 var candidates = []string{"unrolled4", "axpy", "blocked", "packed4x4", "packed8x4"}
 
 // calReps is the number of timed repetitions per candidate; the minimum

@@ -130,11 +130,26 @@ type Kernel = leaf.Kernel
 // order: "axpy", "blocked" (register-blocked 4×4), "naive", "packed4x4"
 // and "packed8x4" (packed-panel register-blocked kernels with a
 // pack-free fast path on contiguous recursive-layout tiles), and
-// "unrolled4" (the paper's kernel). See DESIGN.md for the hierarchy.
+// "unrolled4" (the paper's kernel), plus whatever hardware kernels the
+// host CPU unlocked — "avx2" (AVX2/FMA 8×4) on amd64, "neon" (NEON 4×4)
+// on arm64; see SIMDKernels. See DESIGN.md for the hierarchy.
 func Kernels() []string { return leaf.Names() }
 
 // KernelByName resolves a built-in kernel.
 func KernelByName(name string) (Kernel, error) { return leaf.Get(name) }
+
+// SIMDKernels returns the names of the assembly leaf kernels registered
+// on this host — the subset of Kernels that dispatches to hardware
+// micro-kernels (AVX2/FMA on amd64, NEON on arm64). Empty when the CPU
+// lacks the features, under `-tags noasm`, on other GOARCHes, or when
+// the RECMAT_NOSIMD environment variable disabled them at startup.
+func SIMDKernels() []string { return leaf.SIMDNames() }
+
+// CPUFeatures reports the SIMD capabilities detected on the host CPU in
+// sorted order (e.g. "avx2", "fma" on a modern amd64; "asimd" on
+// arm64). It describes the hardware and is unaffected by RECMAT_NOSIMD;
+// use SIMDKernels to see what is actually runnable.
+func CPUFeatures() []string { return leaf.Features() }
 
 // CalibrateKernel benchmarks the built-in kernels on an m×n×k leaf
 // multiplication over contiguous operands and returns the name of the
