@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race stress bench bench-kernel fuzz bench-json obs-gate trace-smoke asm-check
+.PHONY: check build vet test race stress soak bench bench-kernel fuzz bench-json obs-gate trace-smoke asm-check
 
-check: build vet race stress obs-gate trace-smoke asm-check
+check: build vet race stress soak obs-gate trace-smoke asm-check
 
 # The assembly hygiene gate. vet's asmdecl checker cross-validates every
 # .s frame layout against its Go declaration; the noasm build and test
@@ -37,6 +37,18 @@ RECMAT_FAULTS ?= panic=0.002,alloc=0.005,delay=0.005/50us,seed=7
 stress:
 	RECMAT_FAULTS='$(RECMAT_FAULTS)' $(GO) test -race -count=3 -run 'Stress' . ./internal/core ./internal/sched
 
+# The serving-daemon chaos soak: the closed-loop multi-tenant load
+# generator drives an in-process recmatd at 4x its admission limit for
+# RECMAT_SOAK (default 60s) under the race detector, with faultinject
+# firing panics, delays, and allocation failures inside the engine the
+# whole time. The test asserts the daemon's robustness contract: it
+# sheds instead of wedging, every failure is a typed error kind,
+# identical request specs agree on their result norm, and drain leaves
+# no goroutine and no in-flight request behind.
+RECMAT_SOAK ?= 60s
+soak:
+	RECMAT_SOAK='$(RECMAT_SOAK)' $(GO) test -race -count=1 -run 'TestChaosSoak|TestSoakResultConsistency' -v -timeout 10m ./internal/serve
+
 # The observability gates. obs-gate bounds the disabled-tracer cost —
 # tracepoints-per-multiply × per-tracepoint nil-check cost, both
 # measured in one process — at 2% of an n=512 multiply's wall time,
@@ -69,7 +81,7 @@ trace-smoke:
 # warrants one re-run before treating it as a real regression.
 bench:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard
-	$(GO) run ./cmd/benchdiff -baseline BENCH_6.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15
+	$(GO) run ./cmd/benchdiff -baseline BENCH_7.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15
 
 # The kernel acceptance benchmark: every registered kernel — packed
 # pure-Go tiers and whatever assembly kernels the host unlocked —
@@ -83,4 +95,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_6.json -reps 4
+	$(GO) run ./cmd/benchjson -o BENCH_7.json -reps 4

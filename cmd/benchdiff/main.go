@@ -9,11 +9,15 @@
 // Results are keyed on (n, mode, algorithm, layout, kernel); only keys
 // present in both files are compared (records from schema ≤2 files have
 // no mode and compare against mode-less candidates). With -alg set, the
-// comparison is restricted to that algorithm. All schemas 1–5 load: the
+// comparison is restricted to that algorithm. All schemas 1–6 load: the
 // decoder ignores fields a schema lacks, per-schema gates arm only when
 // both files carry the data, and schema 5's cpu_features is metadata
 // only — kernels present in just one file (e.g. an assembly kernel the
-// baseline host lacked) simply don't form a compared key.
+// baseline host lacked) simply don't form a compared key. Schema 6's
+// serve-daemon records carry gflops=0 (they measure latency and shed
+// rate under deliberate overload, not throughput of one multiply), so
+// they never enter the GFLOPS gates; when both files have one, the p99
+// and shed-rate movement is printed for information only.
 //
 // Cross-file point-by-point comparison on a shared host is dominated by
 // burstiness (individual points swing ±30% between identical-code
@@ -79,6 +83,11 @@ type result struct {
 	// WorkerUtilization is a pointer for the same reason: schema ≤3
 	// records predate the field.
 	WorkerUtilization *float64 `json:"worker_utilization"`
+	// Serving-daemon fields (schema 6, informational only).
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	QPS        float64 `json:"qps"`
+	ShedRate   float64 `json:"shed_rate"`
 }
 
 type output struct {
@@ -96,6 +105,8 @@ type point struct {
 	gflops       float64
 	convertShare *float64
 	utilization  *float64
+	p50, p99     float64
+	qps, shed    float64
 }
 
 func load(path string) (map[key]point, float64, int, error) {
@@ -109,7 +120,10 @@ func load(path string) (map[key]point, float64, int, error) {
 	}
 	m := make(map[key]point, len(o.Results))
 	for _, r := range o.Results {
-		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{r.GFLOPS, r.ConvertShare, r.WorkerUtilization}
+		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{
+			r.GFLOPS, r.ConvertShare, r.WorkerUtilization,
+			r.P50Seconds, r.P99Seconds, r.QPS, r.ShedRate,
+		}
 	}
 	return m, o.RefGFLOPS, o.Schema, nil
 }
@@ -218,6 +232,22 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchdiff: serve speedup %.2fx at n=%d below floor %.2fx\n", speedup, k.n, *serveMin)
 			}
 		}
+	}
+
+	// Serving-daemon records (schema 6): latency and shed rate under a
+	// deliberately saturating load. Offered load, host contention, and
+	// the generated request mix all move these numbers, so they inform
+	// rather than gate.
+	for k, bp := range base {
+		if k.mode != "serve-daemon" {
+			continue
+		}
+		cp, ok := cand[k]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  serve-daemon n=%-5d p50 %6.2fms -> %6.2fms  p99 %6.2fms -> %6.2fms  qps %6.0f -> %6.0f  shed %4.1f%% -> %4.1f%% (informational)\n",
+			k.n, 1e3*bp.p50, 1e3*cp.p50, 1e3*bp.p99, 1e3*cp.p99, bp.qps, cp.qps, 100*bp.shed, 100*cp.shed)
 	}
 
 	if failed > 0 {

@@ -1,13 +1,13 @@
 // benchjson measures end-to-end GFLOPS for every {algorithm, layout,
 // kernel} combination at fixed problem sizes and writes the results as
 // JSON — the machine-readable record of the repo's performance
-// trajectory (BENCH_6.json at the repo root is its committed output).
+// trajectory (BENCH_7.json at the repo root is its committed output).
 //
 // Usage:
 //
-//	benchjson [-o BENCH_6.json] [-sizes 512,1024] [-reps 2]
+//	benchjson [-o BENCH_7.json] [-sizes 512,1024] [-reps 2]
 //	          [-algs standard,strassen,winograd] [-kernels unrolled4,...,auto]
-//	          [-serve-b 48] [-serve-layout hilbert]
+//	          [-serve-b 48] [-serve-layout hilbert] [-serve-daemon 3s]
 //
 // GFLOPS are computed from 2n³ over the end-to-end time (conversion
 // included), so layouts pay for their format conversions — the honest
@@ -36,6 +36,15 @@
 // ("avx2" on amd64, "neon" on arm64) alongside the pure-Go set — two
 // records on different machines are only comparable once you know
 // which instruction sets were in play.
+//
+// Schema 6 adds the serving-daemon record (mode "serve-daemon"): an
+// in-process recmatd instance driven to saturation by the closed-loop
+// multi-tenant load generator for -serve-daemon seconds, recording
+// p50/p99 end-to-end latency, sustained QPS, and the shed rate at an
+// offered load 8× the admission limit. GFLOPS is 0 on these records,
+// which keeps them out of benchdiff's per-point GFLOPS comparisons —
+// latency under deliberate overload is a different quantity than
+// throughput of one multiplication.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
@@ -51,6 +61,7 @@ import (
 	"time"
 
 	recmat "repro"
+	"repro/internal/serve"
 )
 
 type result struct {
@@ -92,6 +103,16 @@ type result struct {
 	Spawns            int64   `json:"spawns"`
 	Steals            int64   `json:"steals"`
 	WorkerUtilization float64 `json:"worker_utilization"`
+	// Serving-daemon telemetry (schema 6, mode "serve-daemon" only):
+	// end-to-end request latency percentiles, sustained successful QPS,
+	// and the fraction of attempts shed, all measured at an offered load
+	// far past the admission limit. N carries the generator's max dim.
+	P50Seconds    float64 `json:"p50_seconds,omitempty"`
+	P99Seconds    float64 `json:"p99_seconds,omitempty"`
+	QPS           float64 `json:"qps,omitempty"`
+	ShedRate      float64 `json:"shed_rate,omitempty"`
+	RequestsTotal int     `json:"requests_total,omitempty"`
+	RequestsOK    int     `json:"requests_ok,omitempty"`
 }
 
 // fill copies a Report's telemetry into the record.
@@ -174,7 +195,7 @@ func main() {
 	// registered, then "auto" to record what the autotuner picks.
 	defaultKernels := append([]string{"unrolled4", "blocked", "packed8x4"}, recmat.SIMDKernels()...)
 	defaultKernels = append(defaultKernels, "auto")
-	out := flag.String("o", "BENCH_6.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_7.json", "output file (- for stdout)")
 	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
 	algsFlag := flag.String("algs", "standard,strassen,winograd", "comma-separated algorithms")
 	kernelsFlag := flag.String("kernels", strings.Join(defaultKernels, ","), "comma-separated kernels (auto = autotuned)")
@@ -184,6 +205,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	serveB := flag.Int("serve-b", 48, "right-hand-side width for the serving-shape sweep (0 disables)")
 	serveLayout := flag.String("serve-layout", "hilbert", "layout for the serving-shape sweep")
+	serveDaemon := flag.Duration("serve-daemon", 3*time.Second, "duration of the saturation sweep against an in-process recmatd (0 disables)")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -214,7 +236,7 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:      5,
+		Schema:      6,
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,
@@ -279,6 +301,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "n=%-5d serve speedup: %.2fx\n", n, pp.GFLOPS/pc.GFLOPS)
 			}
 		}
+	}
+
+	if *serveDaemon > 0 {
+		r := serveDaemonBench(*serveDaemon)
+		o.Results = append(o.Results, r)
+		fmt.Fprintf(os.Stderr, "serve-daemon %v: %.0f qps  p50 %.2fms  p99 %.2fms  shed %.1f%%  (%d ok / %d attempts)\n",
+			*serveDaemon, r.QPS, 1e3*r.P50Seconds, 1e3*r.P99Seconds, 100*r.ShedRate, r.RequestsOK, r.RequestsTotal)
 	}
 
 	buf, err := json.MarshalIndent(&o, "", "  ")
@@ -366,6 +395,51 @@ func serveBench(eng *recmat.Engine, n, b int, lo recmat.Layout, reps int, seed i
 		}
 	}
 	return percall, prepacked
+}
+
+// serveDaemonBench stands up an in-process recmatd and drives it to
+// saturation: offered load is 8× the admission limit, the queue is
+// short and its wait bounded, so the daemon must shed — the record
+// captures what latency and throughput look like at the edge the
+// backpressure machinery defends. Client retries are disabled so the
+// shed rate counts raw rejections, not post-retry outcomes.
+func serveDaemonBench(duration time.Duration) result {
+	const maxDim = 128
+	s := serve.New(serve.Config{
+		Workers:        runtime.GOMAXPROCS(0),
+		MaxInflight:    2,
+		QueueDepth:     4,
+		MaxQueueWait:   20 * time.Millisecond,
+		PlanCacheBytes: 64 << 20,
+		MaxDim:         maxDim,
+	})
+	ts := httptest.NewServer(s.Handler())
+	gen := &serve.LoadGen{
+		Client:      &serve.Client{BaseURL: ts.URL, MaxRetries: -1},
+		Tenants:     4,
+		Concurrency: 16,
+		MaxDim:      maxDim,
+		Seed:        1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	sum := gen.Run(ctx)
+	ts.Close()
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer dcancel()
+	die(s.Drain(dctx))
+
+	return result{
+		N: maxDim, Mode: "serve-daemon",
+		Algorithm: "mixed", Layout: "mixed", Kernel: "auto", KernelRan: "auto",
+		TotalSeconds:  sum.Duration.Seconds(),
+		P50Seconds:    sum.Percentile(50).Seconds(),
+		P99Seconds:    sum.Percentile(99).Seconds(),
+		QPS:           sum.QPS(),
+		ShedRate:      sum.ShedRate(),
+		RequestsTotal: sum.Total,
+		RequestsOK:    sum.OK,
+	}
 }
 
 func splitList(s string) []string {

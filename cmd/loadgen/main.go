@@ -1,0 +1,77 @@
+// loadgen drives a recmatd daemon with closed-loop multi-tenant
+// traffic and prints a latency/throughput/shedding summary — the
+// companion load generator of the chaos soak suite.
+//
+// Usage:
+//
+//	loadgen [-url http://127.0.0.1:8080] [-duration 10s] [-conc 8]
+//	        [-tenants 4] [-max-dim 256] [-named 0.5] [-deadline 2000]
+//	        [-seed 1] [-json]
+//
+// Each of -conc workers loops submit → wait → submit against the
+// daemon, so offered load tracks capacity; raise -conc past the
+// daemon's -max-inflight to exercise queueing and load shedding.
+// Failed attempts are retried with backoff only when the server says
+// the failure is retryable (shed, quota, draining).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "recmatd base URL")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	conc := flag.Int("conc", 8, "closed-loop workers")
+	tenants := flag.Int("tenants", 4, "distinct tenants")
+	maxDim := flag.Int("max-dim", 256, "max generated m, k, n")
+	named := flag.Float64("named", 0.5, "fraction of requests using named (plan-cached) operands")
+	deadline := flag.Int64("deadline", 2000, "per-request deadline in ms")
+	seed := flag.Int64("seed", 1, "generator seed")
+	retries := flag.Int("retries", 3, "client retry budget for retryable failures (-1 disables)")
+	asJSON := flag.Bool("json", false, "emit the summary as JSON")
+	flag.Parse()
+
+	gen := &serve.LoadGen{
+		Client:      &serve.Client{BaseURL: *url, MaxRetries: *retries},
+		Tenants:     *tenants,
+		Concurrency: *conc,
+		MaxDim:      *maxDim,
+		NamedFrac:   *named,
+		DeadlineMS:  *deadline,
+		Seed:        *seed,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	sum := gen.Run(ctx)
+
+	if *asJSON {
+		out := map[string]any{
+			"duration_seconds": sum.Duration.Seconds(),
+			"total":            sum.Total,
+			"ok":               sum.OK,
+			"failed":           sum.Failed,
+			"qps":              sum.QPS(),
+			"shed_rate":        sum.ShedRate(),
+			"p50_seconds":      sum.Percentile(50).Seconds(),
+			"p99_seconds":      sum.Percentile(99).Seconds(),
+			"degraded":         sum.Degraded,
+			"plan_cached":      sum.PlanCached,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(sum)
+}

@@ -277,8 +277,10 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	} else if pool.Closed() {
 		return nil, sched.ErrPoolClosed
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, fmt.Errorf("core: GEMM not started: %w", cerr)
+	if ctx.Err() != nil {
+		// context.Cause preserves a cause-carrying cancellation (e.g. a
+		// server drain) that plain ctx.Err() would flatten to Canceled.
+		return nil, fmt.Errorf("core: GEMM not started: %w", context.Cause(ctx))
 	}
 	c0 := startCall(pool, t0)
 
@@ -312,8 +314,8 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	for _, sm := range ms {
 		for _, sn := range ns {
 			for _, sk := range ks {
-				if cerr := ctx.Err(); cerr != nil {
-					return nil, fmt.Errorf("core: GEMM cancelled after %d of %d blocks: %w", stats.Blocks, total, cerr)
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("core: GEMM cancelled after %d of %d blocks: %w", stats.Blocks, total, context.Cause(ctx))
 				}
 				av := opView(A, transA, sm, sk)
 				bv := opView(B, transB, sk, sn)

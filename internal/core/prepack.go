@@ -436,8 +436,8 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	} else if pool.Closed() {
 		return nil, sched.ErrPoolClosed
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, fmt.Errorf("core: GEMMPrepacked not started: %w", cerr)
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("core: GEMMPrepacked not started: %w", context.Cause(ctx))
 	}
 
 	d, tm, tk, tn := pa.D, pa.TR, pa.TC, pb.TC
@@ -532,8 +532,8 @@ func prepackedBlock(ctx context.Context, pool *sched.Pool, e *exec, stats *Stats
 
 	cm := tc.Mat()
 	for ki := range pa.CSegs {
-		if cerr := ctx.Err(); cerr != nil {
-			return fmt.Errorf("core: cancelled: %w", cerr)
+		if ctx.Err() != nil {
+			return fmt.Errorf("core: cancelled: %w", context.Cause(ctx))
 		}
 		am, bm := pa.Block(i, ki).Mat(), pb.Block(ki, j).Mat()
 		t1 := time.Now()

@@ -30,6 +30,29 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a race-safe int64 level metric: unlike a Counter it moves in
+// both directions and reads as the current level, not a cumulative
+// total. The serving layer uses gauges for queue depth and active
+// tenant counts — quantities a scrape wants as-of-now values.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram is a fixed-bucket cumulative histogram. Bucket i counts
 // observations ≤ Bounds[i]; the final implicit bucket counts overflow.
 // Observe is lock-free: bucket counts and the total are atomic adds,
@@ -71,12 +94,13 @@ var (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -89,6 +113,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -126,6 +162,7 @@ func (h HistogramSnapshot) Mean() float64 {
 // Snapshot is a point-in-time copy of a whole registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -137,10 +174,14 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{

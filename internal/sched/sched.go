@@ -162,6 +162,10 @@ type runState struct {
 	// workers observe cancellation without waiting for the Run caller to
 	// notice it first.
 	done <-chan struct{}
+	// pool backs the pool-closed check: closing the pool cancels every
+	// in-flight run, which is what lets Close be called while runs are
+	// still executing (the daemon drain path) without wedging anyone.
+	pool *Pool
 }
 
 func (rs *runState) isCancelled() bool {
@@ -169,6 +173,10 @@ func (rs *runState) isCancelled() bool {
 		return false
 	}
 	if rs.cancelled.Load() {
+		return true
+	}
+	if rs.pool != nil && rs.pool.closed.Load() {
+		rs.cancelled.Store(true)
 		return true
 	}
 	if rs.done != nil {
@@ -270,13 +278,40 @@ func (p *Pool) BusyNanos() int64 {
 func (p *Pool) Workers() int { return len(p.workers) }
 
 // Close shuts the pool down. It is idempotent and safe to call
-// concurrently: every caller blocks until the workers have exited. It
-// must not be called concurrently with Run.
+// concurrently: every caller blocks until the workers have exited.
+// Close may also be called while runs are in flight (a serving
+// process's drain path closes the pool with requests still executing):
+// closing cancels every in-flight run — workers retire the remaining
+// tasks without executing them, exactly as a cancelled context would —
+// and those runs' Run/RunCtx calls return an error wrapping
+// ErrPoolClosed instead of wedging.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.done)
 	}
 	p.wg.Wait()
+	// Root tasks parked in the injection queue after the workers exited
+	// would strand their callers on the completion channel; retire them.
+	p.drainInject()
+}
+
+// drainInject retires any tasks parked in the injection queue without
+// executing them. Only called on the close path — workers at exit,
+// Close after the workers are gone, and RunCtx callers observing
+// closure — when every run on this pool already reports cancelled, so
+// retiring (not running) is the correct disposal.
+func (p *Pool) drainInject() {
+	for {
+		select {
+		case t := <-p.inject:
+			j := t.join
+			t.fn, t.join, t.ctx = nil, nil, nil
+			taskPool.Put(t)
+			j.finish()
+		default:
+			return
+		}
+	}
 }
 
 // Closed reports whether the pool has been closed.
@@ -311,13 +346,17 @@ func (p *Pool) RunCtx(ctx context.Context, fn func(*Ctx)) (work, span float64, e
 	if cerr := ctx.Err(); cerr != nil {
 		return 0, 0, fmt.Errorf("sched: run not started: %w", context.Cause(ctx))
 	}
-	rs := &runState{done: ctx.Done()}
+	rs := &runState{done: ctx.Done(), pool: p}
 	j := &join{donec: make(chan struct{})}
 	j.pending.Store(1)
 	c := &Ctx{pool: p, rs: rs}
 	t := newTask(fn, j, c)
 	select {
 	case p.inject <- t:
+	case <-p.done:
+		t.fn, t.join, t.ctx = nil, nil, nil
+		taskPool.Put(t)
+		return 0, 0, ErrPoolClosed
 	case <-ctx.Done():
 		t.fn, t.join, t.ctx = nil, nil, nil
 		taskPool.Put(t)
@@ -330,11 +369,25 @@ func (p *Pool) RunCtx(ctx context.Context, fn func(*Ctx)) (work, span float64, e
 		// Cooperative abort: workers retire the remaining tasks of this
 		// run without executing them, so this drains quickly.
 		<-j.donec
+	case <-p.done:
+		// The pool is closing under this run. Workers drain their own
+		// deques on the way out; drain the injection queue here too in
+		// case our root task never left it (Close's own drain may
+		// already have run by the time the task was injected).
+		rs.cancelled.Store(true)
+		p.drainInject()
+		<-j.donec
 	}
 	work, span = c.Work, c.Span
 	terr := j.taskErr()
 	if rs.cancelled.Load() {
-		cancelErr := fmt.Errorf("sched: run cancelled: %w", context.Cause(ctx))
+		cause := context.Cause(ctx)
+		if cause == nil {
+			// Not the context: the pool was closed out from under the
+			// run (the drain path). Type the abort accordingly.
+			return work, span, errors.Join(fmt.Errorf("sched: run aborted: %w", ErrPoolClosed), terr)
+		}
+		cancelErr := fmt.Errorf("sched: run cancelled: %w", cause)
 		return work, span, errors.Join(cancelErr, terr)
 	}
 	return work, span, terr
@@ -467,13 +520,19 @@ func (w *worker) run(t *task) {
 }
 
 // loop is the worker main loop: execute available work, back off when
-// idle, exit when the pool closes.
+// idle, exit when the pool closes. On the way out the worker retires
+// whatever is left in its own deque and the injection queue — the pool
+// is closed, so every run is cancelled and w.run skips execution — so
+// no join is left pending and no Run caller wedges on its completion
+// channel.
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
 	idle := 0
 	for {
 		select {
 		case <-w.pool.done:
+			w.drainOwn()
+			w.pool.drainInject()
 			return
 		default:
 		}
@@ -488,6 +547,8 @@ func (w *worker) loop() {
 		} else {
 			select {
 			case <-w.pool.done:
+				w.drainOwn()
+				w.pool.drainInject()
 				return
 			case t := <-w.pool.inject:
 				idle = 0
@@ -495,6 +556,21 @@ func (w *worker) loop() {
 			case <-time.After(200 * time.Microsecond):
 			}
 		}
+	}
+}
+
+// drainOwn retires the worker's remaining queued tasks through the
+// ordinary run path, which skips execution because the pool's closure
+// has cancelled their runs. Tasks pushed by frames still executing on
+// other workers go to those workers' own deques, so per-worker
+// self-drain covers everything.
+func (w *worker) drainOwn() {
+	for {
+		t := w.pop()
+		if t == nil {
+			return
+		}
+		w.run(t)
 	}
 }
 

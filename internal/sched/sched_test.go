@@ -682,3 +682,81 @@ func TestStressPoolFaultInjection(t *testing.T) {
 		t.Fatalf("pool unusable after fault stress: %v", err)
 	}
 }
+
+func TestCloseDuringRunCtxAbortsTyped(t *testing.T) {
+	// The daemon drain path closes the pool while requests may still be
+	// executing. Closing must behave like a cancellation: the in-flight
+	// run returns promptly with an error wrapping ErrPoolClosed (or
+	// completes cleanly if it won the race), and nothing wedges.
+	for i := 0; i < 10; i++ {
+		p := NewPool(4)
+		started := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := p.RunCtx(context.Background(), func(c *Ctx) {
+				fns := make([]func(*Ctx), 128)
+				for j := range fns {
+					j := j
+					fns[j] = func(c *Ctx) {
+						if j == 0 {
+							close(started)
+						}
+						time.Sleep(100 * time.Microsecond)
+					}
+				}
+				c.Parallel(fns...)
+			})
+			done <- err
+		}()
+		<-started
+		p.Close()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, ErrPoolClosed) {
+				t.Fatalf("iter %d: close-during-run returned %v, want nil or ErrPoolClosed", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: run wedged after Close", i)
+		}
+	}
+}
+
+func TestCloseDuringRunCtxNoGoroutineLeak(t *testing.T) {
+	// Extends PR 2's completion-channel test to the drain path: a pool
+	// closed mid-run must release its workers and leave no goroutine
+	// behind — neither the run's caller nor a worker parked on a join.
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		p := NewPool(3)
+		started := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.RunCtx(context.Background(), func(c *Ctx) {
+				fns := make([]func(*Ctx), 64)
+				for j := range fns {
+					j := j
+					fns[j] = func(c *Ctx) {
+						if j == 0 {
+							close(started)
+						}
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+				c.Parallel(fns...)
+			})
+		}()
+		<-started
+		p.Close()
+	}
+	wg.Wait()
+	// Workers exit asynchronously after Close returns their wg; settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked across close-during-run cycles: %d -> %d", before, g)
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// admission is the daemon's global concurrency gate: a semaphore of
+// MaxInflight execution slots fronted by a bounded queue with a bounded
+// wait. A request either takes a slot immediately, waits in the queue
+// until a slot opens (up to maxWait), or is shed with ErrShed — the
+// backpressure contract that keeps the process's memory and latency
+// bounded under overload instead of letting goroutines pile up.
+type admission struct {
+	sem      chan struct{}
+	maxQueue int
+	maxWait  time.Duration
+
+	queued    *obs.Gauge     // queue_depth: requests waiting right now
+	shed      *obs.Counter   // requests_shed: queue-full + wait-expired rejections
+	queueWait *obs.Histogram // queue_wait_seconds of admitted requests
+}
+
+func newAdmission(maxInflight, maxQueue int, maxWait time.Duration, reg *obs.Registry) *admission {
+	return &admission{
+		sem:       make(chan struct{}, maxInflight),
+		maxQueue:  maxQueue,
+		maxWait:   maxWait,
+		queued:    reg.Gauge("queue_depth"),
+		shed:      reg.Counter("requests_shed"),
+		queueWait: reg.Histogram("queue_wait_seconds", obs.SecondsBuckets),
+	}
+}
+
+// acquire takes one execution slot, waiting in the bounded queue if
+// none is free. It returns the release function and the time spent
+// queued. Shedding (queue full, wait expired) returns ErrShed; a
+// context that ends first returns the context error, so a client that
+// disconnects while queued does not consume a slot.
+func (a *admission) acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	select {
+	case a.sem <- struct{}{}:
+		a.queueWait.Observe(0)
+		return a.release, 0, nil
+	default:
+	}
+	// Slow path: queue, bounded in both depth and wait. The depth check
+	// is approximate under concurrency (gauge read then increment), but
+	// errs by at most the number of racing requests — the bound that
+	// matters (no unbounded pile-up) holds regardless.
+	if int(a.queued.Value()) >= a.maxQueue {
+		a.shed.Inc()
+		return nil, 0, fmt.Errorf("%w: admission queue full (%d waiting)", ErrShed, a.maxQueue)
+	}
+	a.queued.Inc()
+	defer a.queued.Dec()
+	t0 := time.Now()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		wait = time.Since(t0)
+		a.queueWait.Observe(wait.Seconds())
+		return a.release, wait, nil
+	case <-timer.C:
+		a.shed.Inc()
+		return nil, time.Since(t0), fmt.Errorf("%w: no slot within %v", ErrShed, a.maxWait)
+	case <-ctx.Done():
+		return nil, time.Since(t0), fmt.Errorf("serve: abandoned admission queue: %w", context.Cause(ctx))
+	}
+}
+
+func (a *admission) release() { <-a.sem }

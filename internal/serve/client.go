@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the Go client for a recmatd daemon, with the retry policy
+// the typed-error taxonomy implies: shed/quota/draining responses are
+// retried with capped exponential backoff (honoring Retry-After),
+// while bad-request, too-large, and deadline failures are returned
+// immediately — retrying those only amplifies overload.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a dedicated client (no global timeout; the
+	// per-call context bounds each attempt).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first (default 3;
+	// negative disables retries entirely).
+	MaxRetries int
+	// Backoff is the initial retry delay (default 50ms), doubling per
+	// attempt and capped at MaxBackoff (default 1s). A server
+	// Retry-After overrides the computed delay when longer.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// APIError is a non-2xx daemon response surfaced as a Go error; the
+// serving sentinels are reachable through errors.Is via its kind.
+type APIError struct {
+	Status int
+	Info   ErrorInfo
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("recmatd: %s (%d): %s", e.Info.Kind, e.Status, e.Info.Message)
+}
+
+// Is maps wire kinds back onto the server-side sentinel errors, so
+// client code can errors.Is(err, serve.ErrShed) across the HTTP hop.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrShed:
+		return e.Info.Kind == KindShed
+	case ErrQuota:
+		return e.Info.Kind == KindQuota
+	case ErrTooLarge:
+		return e.Info.Kind == KindTooLarge
+	case ErrDraining:
+		return e.Info.Kind == KindDraining
+	case context.DeadlineExceeded:
+		return e.Info.Kind == KindDeadline
+	}
+	return false
+}
+
+// Retryable reports whether the failure is worth retrying: load was
+// shed, quota was momentarily exhausted, or the server is draining
+// (another replica, or the same one post-restart, may accept it).
+func (e *APIError) Retryable() bool {
+	switch e.Info.Kind {
+	case KindShed, KindQuota, KindDraining:
+		return true
+	}
+	return false
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Do submits one GEMM request, retrying retryable failures until ctx
+// ends or the retry budget is spent. The returned error is either an
+// *APIError (typed daemon rejection), a context error, or a transport
+// error; never a silent nil-with-no-response.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.once(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		retryable := errors.As(err, &apiErr) && apiErr.Retryable()
+		if !retryable || attempt >= maxRetries {
+			return nil, lastErr
+		}
+		delay := backoff << attempt
+		if delay > maxBackoff {
+			delay = maxBackoff
+		}
+		if apiErr.Info.RetryAfterMS > 0 {
+			if ra := time.Duration(apiErr.Info.RetryAfterMS) * time.Millisecond; ra > delay {
+				delay = ra
+			}
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("recmatd client: %w (last attempt: %v)", context.Cause(ctx), lastErr)
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, req *Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/gemm", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		if json.Unmarshal(raw, &eb) != nil || eb.Error.Kind == "" {
+			eb.Error = ErrorInfo{Kind: KindInternal, Message: string(raw)}
+		}
+		return nil, &APIError{Status: hresp.StatusCode, Info: eb.Error}
+	}
+	var out Response
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("recmatd client: bad response body: %w", err)
+	}
+	return &out, nil
+}

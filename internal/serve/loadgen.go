@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadGen is a closed-loop multi-tenant load generator for a recmatd
+// daemon: each of Concurrency workers loops submit → wait → submit,
+// so offered load self-regulates to the daemon's capacity while still
+// overrunning it when Concurrency exceeds the admission limit — the
+// regime the backpressure machinery exists for. Shapes, tenants, and
+// seeds are drawn deterministically from Seed, so a soak run is
+// reproducible.
+type LoadGen struct {
+	Client *Client
+	// Tenants is the number of synthetic tenants (default 4); worker i
+	// drives tenant "t<i mod Tenants>".
+	Tenants int
+	// Concurrency is the number of closed-loop workers (default 8).
+	Concurrency int
+	// MaxDim bounds generated m, k, n (default 256); dims are drawn
+	// log-uniformly in [16, MaxDim] so small and large shapes both occur.
+	MaxDim int
+	// NamedFrac is the fraction of requests using a named (plan-cached)
+	// A operand, drawn from NamedOperands distinct names per tenant
+	// (defaults 0.5 and 4).
+	NamedFrac     float64
+	NamedOperands int
+	// DeadlineMS is the per-request client deadline sent to the server
+	// (default 2000).
+	DeadlineMS int64
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// OnResult, when non-nil, observes every completed attempt
+	// (concurrently; must be goroutine-safe).
+	OnResult func(Result)
+}
+
+// Result is one completed request from the generator's perspective.
+type Result struct {
+	Tenant  string
+	M, K, N int
+	Req     *Request // the full spec, for result-consistency checks
+	Latency time.Duration
+	Err     error // nil on success; *APIError, context, or transport error
+	Resp    *Response
+}
+
+// Summary aggregates a load-generation run; Percentile and String make
+// it directly usable by cmd/loadgen and the benchmark sweep.
+type Summary struct {
+	Duration time.Duration `json:"duration_seconds_ns"`
+	Total    int           `json:"total"`
+	OK       int           `json:"ok"`
+	// Failure counts by error kind (shed, quota, deadline, ...);
+	// transport/context failures count under "transport".
+	Failed map[string]int `json:"failed,omitempty"`
+	// Degraded counts successful responses that ran on a degradation
+	// rung; PlanCached counts successes served from the plan cache.
+	Degraded   int `json:"degraded"`
+	PlanCached int `json:"plan_cached"`
+
+	latencies []time.Duration // successful requests only
+}
+
+// QPS is successful requests per second over the run.
+func (s *Summary) QPS() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.OK) / s.Duration.Seconds()
+}
+
+// ShedRate is the fraction of attempts rejected with the shed kind.
+func (s *Summary) ShedRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Failed[KindShed]) / float64(s.Total)
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]) of
+// successful requests, 0 if none.
+func (s *Summary) Percentile(p float64) time.Duration {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	idx := int(p / 100 * float64(len(s.latencies)-1))
+	return s.latencies[idx]
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("total=%d ok=%d failed=%v qps=%.1f shed=%.1f%% p50=%v p99=%v degraded=%d cached=%d",
+		s.Total, s.OK, s.Failed, s.QPS(), 100*s.ShedRate(),
+		s.Percentile(50), s.Percentile(99), s.Degraded, s.PlanCached)
+}
+
+// Run drives the daemon until ctx ends and returns the aggregate.
+func (g *LoadGen) Run(ctx context.Context) *Summary {
+	tenants := g.Tenants
+	if tenants <= 0 {
+		tenants = 4
+	}
+	conc := g.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	maxDim := g.MaxDim
+	if maxDim <= 0 {
+		maxDim = 256
+	}
+	namedFrac := g.NamedFrac
+	if namedFrac == 0 {
+		namedFrac = 0.5
+	}
+	namedOps := g.NamedOperands
+	if namedOps <= 0 {
+		namedOps = 4
+	}
+	deadlineMS := g.DeadlineMS
+	if deadlineMS <= 0 {
+		deadlineMS = 2000
+	}
+	seed := g.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	sum := &Summary{Failed: map[string]int{}}
+	var mu sync.Mutex
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			tenant := fmt.Sprintf("t%d", w%tenants)
+			for ctx.Err() == nil {
+				req := g.genRequest(rng, tenant, maxDim, namedFrac, namedOps, deadlineMS)
+				rt0 := time.Now()
+				resp, err := g.Client.Do(ctx, req)
+				res := Result{
+					Tenant: tenant, M: req.M, K: req.K, N: req.N, Req: req,
+					Latency: time.Since(rt0), Err: err, Resp: resp,
+				}
+				if g.OnResult != nil {
+					g.OnResult(res)
+				}
+				mu.Lock()
+				sum.Total++
+				if err == nil {
+					sum.OK++
+					sum.latencies = append(sum.latencies, res.Latency)
+					if len(resp.Degraded) > 0 {
+						sum.Degraded++
+					}
+					if resp.PlanCached {
+						sum.PlanCached++
+					}
+				} else {
+					sum.Failed[failKind(err)]++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum.Duration = time.Since(t0)
+	return sum
+}
+
+// genRequest draws one request: log-uniform dims, a mix of named
+// (plan-cacheable) and anonymous operands, occasional β ≠ 0 and
+// recursive layouts — broad enough to exercise every server path.
+func (g *LoadGen) genRequest(rng *rand.Rand, tenant string, maxDim int, namedFrac float64, namedOps int, deadlineMS int64) *Request {
+	logDim := func() int {
+		lo, hi := 4.0, logBase2(maxDim) // dims in [16, maxDim]
+		return 1 << int(lo+rng.Float64()*(hi-lo))
+	}
+	req := &Request{
+		Tenant:     tenant,
+		M:          logDim(),
+		K:          logDim(),
+		N:          logDim(),
+		ASeed:      int64(rng.Intn(64) + 1),
+		BSeed:      int64(rng.Intn(1 << 20)),
+		DeadlineMS: deadlineMS,
+	}
+	if rng.Float64() < namedFrac {
+		// Named operands repeat (few names, few seeds) so the plan cache
+		// sees hits; the seed is derived from the name for determinism.
+		id := rng.Intn(namedOps)
+		req.AName = fmt.Sprintf("w%d", id)
+		req.ASeed = int64(id + 1)
+		req.Layout = "z" // recursive layout: the prepack-friendly path
+	}
+	if rng.Float64() < 0.25 {
+		req.CSeed = int64(rng.Intn(1<<20) + 1)
+		req.Beta = 0.5
+	}
+	return req
+}
+
+func logBase2(n int) float64 {
+	b := 0.0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// failKind maps an attempt error to a Summary.Failed key.
+func failKind(err error) string {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Info.Kind
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return "context"
+	}
+	return "transport"
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	recmat "repro"
+	"repro/internal/obs"
+)
+
+// planCache is an LRU, byte-bounded, refcounted cache of prepacked
+// operand plans keyed by operand identity. The refcounting is the
+// robustness point: eviction removes an entry from the cache
+// immediately (so its bytes stop counting and new requests rebuild),
+// but the underlying Plan's buffers are returned to the recycling pool
+// only when the last in-flight multiplication using it releases its
+// reference — eviction never frees a plan mid-flight.
+//
+// Concurrent requests for the same missing key build once: the first
+// acquirer inserts a pending entry and builds outside the lock; later
+// acquirers block on the entry's ready channel. Build failures are not
+// cached — the entry is removed so the next request retries.
+type planCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*planEntry
+	lru      *list.List // front = most recently used; values are *planEntry
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	gauge     *obs.Gauge // plan_cache_bytes
+}
+
+type planEntry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed when plan/err is settled
+
+	// All fields below are written before ready closes (happens-before
+	// for waiters) or under the cache mutex.
+	plan    *recmat.Plan
+	bytes   int64
+	err     error
+	refs    int  // guarded by cache mu; includes the builder's ref
+	evicted bool // removed from the cache; free on last release
+	freed   bool // plan.Release has run (exactly-once guard)
+}
+
+// Plan returns the cached plan; only valid between a successful acquire
+// and the matching release.
+func (e *planEntry) Plan() *recmat.Plan { return e.plan }
+
+func newPlanCache(maxBytes int64, reg *obs.Registry) *planCache {
+	return &planCache{
+		maxBytes:  maxBytes,
+		entries:   map[string]*planEntry{},
+		lru:       list.New(),
+		hits:      reg.Counter("plan_cache_hits"),
+		misses:    reg.Counter("plan_cache_misses"),
+		evictions: reg.Counter("plan_cache_evictions"),
+		gauge:     reg.Gauge("plan_cache_bytes"),
+	}
+}
+
+// acquire returns the entry for key with one reference held, building
+// the plan with build on a miss. The caller must release the entry
+// when its multiplication has finished with the plan.
+func (c *planCache) acquire(key string, build func() (*recmat.Plan, error)) (*planEntry, error) {
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The build failed after we joined it; the builder already
+			// removed the entry. Drop our reference and report.
+			c.mu.Lock()
+			e.refs--
+			c.mu.Unlock()
+			return nil, e.err
+		}
+		c.hits.Inc()
+		return e, nil
+	}
+	e := &planEntry{key: key, refs: 1, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.misses.Inc()
+	c.mu.Unlock()
+
+	// The engine converts panics to errors at its API boundary, but a
+	// plan builder that somehow panics anyway must not strand waiters
+	// on the ready channel — settle the entry no matter what.
+	plan, err := func() (p *recmat.Plan, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: plan build panicked: %v", r)
+			}
+		}()
+		return build()
+	}()
+
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		if !e.evicted {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+			e.evicted = true
+		}
+		e.refs--
+		close(e.ready)
+		c.mu.Unlock()
+		return nil, err
+	}
+	e.plan, e.bytes = plan, plan.Bytes()
+	close(e.ready)
+	if e.evicted {
+		// Evicted while still building (a burst of other keys pushed it
+		// out): serve this caller, free on last release, account nothing.
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.bytes += e.bytes
+	toFree := c.evictOverLocked()
+	c.gauge.Set(c.bytes)
+	c.mu.Unlock()
+	for _, p := range toFree {
+		p.Release()
+	}
+	return e, nil
+}
+
+// release drops one reference; the last reference out of an evicted
+// entry frees the plan's buffers.
+func (c *planCache) release(e *planEntry) {
+	c.mu.Lock()
+	e.refs--
+	var free *recmat.Plan
+	if e.refs == 0 && e.evicted && e.plan != nil && !e.freed {
+		e.freed = true
+		free = e.plan
+	}
+	c.mu.Unlock()
+	if free != nil {
+		free.Release()
+	}
+}
+
+// evictOverLocked evicts least-recently-used entries until the cache
+// fits maxBytes, never evicting the most recent entry (the one just
+// inserted — a cache that cannot hold even one plan would thrash every
+// request). Returns the plans that can be freed right away (refs==0);
+// in-use plans are freed by their final release.
+func (c *planCache) evictOverLocked() []*recmat.Plan {
+	var free []*recmat.Plan
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*planEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		e.evicted = true
+		c.bytes -= e.bytes
+		c.evictions.Inc()
+		if e.refs == 0 && e.plan != nil && !e.freed {
+			e.freed = true
+			free = append(free, e.plan)
+		}
+	}
+	return free
+}
+
+// close evicts everything, freeing plans with no in-flight references;
+// the rest free when their last reference releases. Called on drain
+// after in-flight requests have finished, so normally frees all.
+func (c *planCache) close() {
+	c.mu.Lock()
+	var free []*recmat.Plan
+	for key, e := range c.entries {
+		delete(c.entries, key)
+		e.evicted = true
+		if e.refs == 0 && e.plan != nil && !e.freed {
+			e.freed = true
+			free = append(free, e.plan)
+		}
+	}
+	c.lru.Init()
+	c.bytes = 0
+	c.gauge.Set(0)
+	c.mu.Unlock()
+	for _, p := range free {
+		p.Release()
+	}
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	recmat "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+func testBuild(eng *recmat.Engine, n int, seed int64) func() (*recmat.Plan, error) {
+	return func() (*recmat.Plan, error) {
+		A := recmat.Random(n, n, rand.New(rand.NewSource(seed)))
+		return eng.Prepack(A, false, &recmat.Options{Layout: recmat.ZMorton})
+	}
+}
+
+// TestPlanCacheEvictionDefersFree is the deterministic half of the
+// refcounting contract: evict an entry while a caller still holds it,
+// run the multiplication on the evicted plan, and verify the result is
+// still correct — the eviction must not have freed the buffers out
+// from under the in-flight GEMM.
+func TestPlanCacheEvictionDefersFree(t *testing.T) {
+	eng := recmat.NewEngine(2)
+	defer eng.Close()
+	reg := obs.NewRegistry()
+	n := 64
+	planBytes := int64(n*n) * 8
+	// Budget below two plans: inserting the second evicts the first.
+	pc := newPlanCache(planBytes*3/2, reg)
+	defer pc.close()
+
+	e1, err := pc.acquire("a", testBuild(eng, n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.acquire("b", testBuild(eng, n, 2)); err != nil {
+		t.Fatal(err)
+	}
+	pc.mu.Lock()
+	evicted := e1.evicted
+	freed := e1.freed
+	pc.mu.Unlock()
+	if !evicted {
+		t.Fatal("entry a not evicted by inserting b over budget")
+	}
+	if freed {
+		t.Fatal("entry a freed while a reference was still held")
+	}
+
+	// Multiply with the evicted-but-held plan and check the answer.
+	B := recmat.Random(n, n, rand.New(rand.NewSource(3)))
+	pb, err := eng.PrepackConforming(B, false, &recmat.Options{Layout: recmat.ZMorton}, e1.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Release()
+	C := recmat.NewMatrix(n, n)
+	if _, err := eng.GEMMPrepackedOpts(context.Background(), &recmat.Options{Layout: recmat.ZMorton}, 1, e1.Plan(), pb, 0, C); err != nil {
+		t.Fatal(err)
+	}
+	A := recmat.Random(n, n, rand.New(rand.NewSource(1)))
+	ref := recmat.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var dot float64
+			for p := 0; p < n; p++ {
+				dot += A.At(i, p) * B.At(p, j)
+			}
+			ref.Set(i, j, dot)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if d := C.At(i, j) - ref.At(i, j); d > 1e-9 || d < -1e-9 {
+				t.Fatalf("evicted plan produced wrong C[%d,%d]: %g vs %g", i, j, C.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+
+	// The release of the last reference frees exactly once.
+	pc.release(e1)
+	pc.mu.Lock()
+	freed = e1.freed
+	pc.mu.Unlock()
+	if !freed {
+		t.Fatal("last release of evicted entry did not free the plan")
+	}
+}
+
+// TestPlanCacheBuildErrorNotCached verifies that a failed build is
+// retried, not served, and that waiters joined to the failed build see
+// the error.
+func TestPlanCacheBuildErrorNotCached(t *testing.T) {
+	eng := recmat.NewEngine(1)
+	defer eng.Close()
+	pc := newPlanCache(1<<20, obs.NewRegistry())
+	defer pc.close()
+	calls := 0
+	failing := func() (*recmat.Plan, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient build failure")
+		}
+		return testBuild(eng, 16, 1)()
+	}
+	if _, err := pc.acquire("k", failing); err == nil {
+		t.Fatal("first acquire did not surface the build error")
+	}
+	e, err := pc.acquire("k", failing)
+	if err != nil {
+		t.Fatalf("second acquire did not retry the build: %v", err)
+	}
+	pc.release(e)
+	if calls != 2 {
+		t.Fatalf("build called %d times, want 2", calls)
+	}
+}
+
+// TestPlanCacheEvictionRace is the chaos half, run under -race: many
+// goroutines acquire keys from a working set far larger than the cache
+// budget (constant eviction), run real GEMMPrepacked multiplications on
+// their plans with faultinject delays widening every window, and check
+// their results. Any eviction freeing a plan mid-flight surfaces as a
+// race report or a wrong product.
+func TestPlanCacheEvictionRace(t *testing.T) {
+	faultinject.Configure(faultinject.Config{DelayProb: 0.2, Delay: 200 * time.Microsecond, Seed: 42})
+	defer faultinject.Disable()
+	eng := recmat.NewEngine(2)
+	defer eng.Close()
+	reg := obs.NewRegistry()
+	n := 32
+	planBytes := int64(n*n) * 8
+	pc := newPlanCache(planBytes*2, reg) // holds ~2 of the 8 keys
+	defer pc.close()
+
+	// Per-key reference norms, computed once serially.
+	refNorm := make([]float64, 8)
+	for k := range refNorm {
+		A := recmat.Random(n, n, rand.New(rand.NewSource(int64(k+1))))
+		B := recmat.Random(n, n, rand.New(rand.NewSource(int64(k+100))))
+		var norm float64
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				var dot float64
+				for p := 0; p < n; p++ {
+					dot += A.At(i, p) * B.At(p, j)
+				}
+				if dot < 0 {
+					dot = -dot
+				}
+				norm += dot
+			}
+		}
+		refNorm[k] = norm
+	}
+
+	const workers = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			opts := &recmat.Options{Layout: recmat.ZMorton}
+			for it := 0; it < iters; it++ {
+				k := rng.Intn(8)
+				e, err := pc.acquire(fmt.Sprintf("k%d", k), testBuild(eng, n, int64(k+1)))
+				if err != nil {
+					errs <- fmt.Errorf("acquire k%d: %w", k, err)
+					return
+				}
+				B := recmat.Random(n, n, rand.New(rand.NewSource(int64(k+100))))
+				pb, err := eng.PrepackConforming(B, false, opts, e.Plan())
+				if err != nil {
+					pc.release(e)
+					errs <- fmt.Errorf("conform k%d: %w", k, err)
+					return
+				}
+				C := recmat.NewMatrix(n, n)
+				_, err = eng.GEMMPrepackedOpts(context.Background(), opts, 1, e.Plan(), pb, 0, C)
+				pb.Release()
+				pc.release(e)
+				if err != nil {
+					errs <- fmt.Errorf("gemm k%d: %w", k, err)
+					return
+				}
+				var norm float64
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						v := C.At(i, j)
+						if v < 0 {
+							v = -v
+						}
+						norm += v
+					}
+				}
+				if d := norm - refNorm[k]; d > 1e-8*refNorm[k] || d < -1e-8*refNorm[k] {
+					errs <- fmt.Errorf("k%d norm %g, want %g (plan freed mid-flight?)", k, norm, refNorm[k])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["plan_cache_evictions"] == 0 {
+		t.Fatal("race test never evicted; shrink the cache budget")
+	}
+	// After close(), every plan must have been freed exactly once — a
+	// leak here shows up as a nonzero gauge or lingering entries.
+	pc.close()
+	pc.mu.Lock()
+	remaining := len(pc.entries)
+	pc.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("%d entries remain after close", remaining)
+	}
+}

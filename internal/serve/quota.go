@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// quotas is the per-tenant rung of the admission ladder: each tenant
+// may hold at most `limit` bytes of operand footprint in flight at
+// once. The unused remainder of a tenant's quota becomes the request's
+// Options.MemBudget, so the engine's own degradation ladder (fast
+// parallel → low-memory serial Strassen → standard parallel → standard
+// serial) absorbs pressure before the daemon has to reject outright —
+// a busy tenant's requests degrade gracefully, then shed.
+type quotas struct {
+	mu      sync.Mutex
+	limit   int64
+	tenants map[string]*tenantState
+
+	active *obs.Gauge   // tenant_active: tenants with >= 1 request in flight
+	denied *obs.Counter // requests_quota_denied
+}
+
+type tenantState struct {
+	bytes int64 // reserved operand bytes in flight
+	reqs  int
+}
+
+func newQuotas(limit int64, reg *obs.Registry) *quotas {
+	return &quotas{
+		limit:   limit,
+		tenants: map[string]*tenantState{},
+		active:  reg.Gauge("tenant_active"),
+		denied:  reg.Counter("requests_quota_denied"),
+	}
+}
+
+// reserve admits one request of `bytes` operand footprint for the
+// tenant. On success it returns the memory budget the engine call may
+// use — the tenant's entire unused quota including this reservation,
+// so packed operands plus algorithm temporaries are all charged to the
+// tenant — and a release function (idempotence is the caller's job;
+// call it exactly once). A request that can never fit the quota fails
+// with ErrTooLarge; one that merely cannot fit *now* fails with
+// ErrQuota, which is retryable.
+func (q *quotas) reserve(tenant string, bytes int64) (budget int64, release func(), err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if bytes > q.limit {
+		q.denied.Inc()
+		return 0, nil, fmt.Errorf("%w: request needs %d bytes, tenant quota is %d", ErrTooLarge, bytes, q.limit)
+	}
+	ts := q.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		q.tenants[tenant] = ts
+	}
+	avail := q.limit - ts.bytes
+	if bytes > avail {
+		q.denied.Inc()
+		return 0, nil, fmt.Errorf("%w: tenant %q has %d of %d bytes free, request needs %d",
+			ErrQuota, tenant, avail, q.limit, bytes)
+	}
+	ts.bytes += bytes
+	ts.reqs++
+	if ts.reqs == 1 {
+		q.active.Inc()
+	}
+	return avail, func() { q.unreserve(tenant, bytes) }, nil
+}
+
+func (q *quotas) unreserve(tenant string, bytes int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ts := q.tenants[tenant]
+	if ts == nil {
+		return
+	}
+	ts.bytes -= bytes
+	ts.reqs--
+	if ts.reqs <= 0 {
+		delete(q.tenants, tenant)
+		q.active.Dec()
+	}
+}
+
+// operandBytes is the irreducible column-major footprint of one GEMM
+// request — what the quota reserves. The engine's admission estimate
+// (packed operands + temporaries) is larger; the gap is covered by
+// granting the tenant's whole unused quota as the call's MemBudget.
+func operandBytes(m, k, n int) int64 {
+	return 8 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
+}

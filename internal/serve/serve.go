@@ -1,0 +1,563 @@
+// Package serve is the overload-hardened GEMM-serving layer behind
+// cmd/recmatd: a stdlib-only HTTP daemon multiplying matrices for many
+// concurrent tenants on one recmat Engine. Robustness is the headline,
+// not throughput — every request passes an admission ladder (tenant
+// quota → global semaphore → bounded queue → shed), carries a
+// propagated deadline (client disconnect, client budget, server cap,
+// drain cancellation) into the engine's cooperative-cancellation
+// machinery, and fails only with a typed error. Degradation under
+// memory pressure rides Options.MemBudget, a refcounted LRU plan cache
+// amortizes operand packing across requests without ever freeing a
+// plan mid-flight, and SIGTERM drains gracefully: stop admitting,
+// finish or cancel in-flight work within a budget, flush metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	recmat "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a production-shaped default.
+type Config struct {
+	// Workers sizes the engine's worker pool (0 = one per CPU).
+	Workers int
+	// MaxInflight bounds concurrently executing multiplications
+	// (0 = 2× the worker count). Requests beyond it queue.
+	MaxInflight int
+	// QueueDepth bounds the admission queue (0 = 4× MaxInflight);
+	// requests arriving with the queue full are shed with 429.
+	QueueDepth int
+	// MaxQueueWait bounds how long one request may sit in the queue
+	// before being shed (0 = 500ms) — the wedge-proofing bound: no
+	// request waits unboundedly for a slot.
+	MaxQueueWait time.Duration
+	// TenantQuotaBytes is each tenant's concurrent-bytes allowance
+	// (0 = 256 MiB); the unused remainder becomes each request's
+	// engine MemBudget.
+	TenantQuotaBytes int64
+	// DefaultDeadline applies when a request carries none (0 = 2s);
+	// MaxDeadline caps what a request may ask for and doubles as the
+	// server-side max-inflight-time (0 = 10s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// DrainTimeout is the graceful phase of Drain: how long in-flight
+	// requests get to finish before being cancelled (0 = 5s).
+	DrainTimeout time.Duration
+	// PlanCacheBytes bounds the prepacked-plan LRU (0 = 512 MiB,
+	// negative disables caching).
+	PlanCacheBytes int64
+	// MaxDim bounds each of m, k, n (0 = 4096).
+	MaxDim int
+	// MaxReturnElems caps ReturnData echoes (0 = 4096 elements).
+	MaxReturnElems int
+	// Logf, when non-nil, receives operational log lines (startup,
+	// drain progress, the final metrics flush).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * c.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 500 * time.Millisecond
+	}
+	if c.TenantQuotaBytes == 0 {
+		c.TenantQuotaBytes = 256 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = 512 << 20
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 4096
+	}
+	if c.MaxReturnElems <= 0 {
+		c.MaxReturnElems = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is one recmatd instance: an engine, its admission machinery,
+// and the HTTP handlers. Create with New, mount Handler, and Drain on
+// shutdown.
+type Server struct {
+	cfg   Config
+	eng   *recmat.Engine
+	reg   *obs.Registry
+	adm   *admission
+	quo   *quotas
+	plans *planCache
+	mux   *http.ServeMux
+
+	// gate tracks in-flight requests and flips atomically to draining:
+	// a plain WaitGroup would race Add against Wait on the drain path.
+	gate inflightGate
+	// drainCtx is cancelled (cause ErrDraining) when the graceful phase
+	// of Drain gives up on stragglers; request contexts are linked to it.
+	drainCtx    context.Context
+	drainCancel context.CancelCauseFunc
+
+	reqTotal   *obs.Counter
+	reqOK      *obs.Counter
+	reqSeconds *obs.Histogram
+}
+
+// New builds a Server and its engine. The engine's metrics registry is
+// shared with the serving layer, so one scrape shows engine and daemon
+// metrics side by side.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eng := recmat.NewEngine(cfg.Workers)
+	reg := eng.Metrics()
+	s := &Server{
+		cfg:        cfg,
+		eng:        eng,
+		reg:        reg,
+		adm:        newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.MaxQueueWait, reg),
+		quo:        newQuotas(cfg.TenantQuotaBytes, reg),
+		plans:      newPlanCache(cfg.PlanCacheBytes, reg),
+		reqTotal:   reg.Counter("requests_total"),
+		reqOK:      reg.Counter("requests_ok"),
+		reqSeconds: reg.Histogram("request_seconds", obs.SecondsBuckets),
+	}
+	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the underlying engine (tests and benchmarks).
+func (s *Server) Engine() *recmat.Engine { return s.eng }
+
+// Metrics returns the shared engine+daemon metrics registry.
+func (s *Server) Metrics() *recmat.Metrics { return s.reg }
+
+// PublishExpvar publishes the metrics registry under the given expvar
+// name (visible at /debug/vars). expvar names are process-global and
+// permanent, so this can fail when the name is taken.
+func (s *Server) PublishExpvar(name string) error { return s.reg.Publish(name) }
+
+// inflightGate counts in-flight requests and coordinates the drain
+// handshake without the WaitGroup Add-vs-Wait race: enter refuses new
+// work once draining, and the last exit signals idle.
+type inflightGate struct {
+	mu       sync.Mutex
+	n        int
+	draining bool
+	idle     chan struct{} // created by drain; closed when n hits 0
+}
+
+func (g *inflightGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.n++
+	return true
+}
+
+func (g *inflightGate) exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	if g.draining && g.n == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+}
+
+// drain flips the gate closed and returns a channel that closes when
+// the last in-flight request exits (immediately if already idle).
+func (g *inflightGate) drain() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.draining = true
+	ch := make(chan struct{})
+	if g.n == 0 {
+		close(ch)
+		return ch
+	}
+	g.idle = ch
+	return ch
+}
+
+func (g *inflightGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+func (g *inflightGate) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Drain is the graceful-shutdown path: stop admitting requests, give
+// in-flight work DrainTimeout to finish, then cancel stragglers
+// through their linked contexts and wait again, bounded by ctx. After
+// the floor is clear it flushes a final metrics snapshot through Logf,
+// releases the plan cache, and closes the engine. Idempotent-enough
+// for one caller; returns an error only if stragglers outlived every
+// budget (which indicates a wedged request — the condition the soak
+// suite asserts never happens).
+func (s *Server) Drain(ctx context.Context) error {
+	s.cfg.Logf("recmatd: draining (%d in flight)", s.gate.count())
+	idle := s.gate.drain()
+	graceful := time.NewTimer(s.cfg.DrainTimeout)
+	defer graceful.Stop()
+	select {
+	case <-idle:
+	case <-graceful.C:
+		s.cfg.Logf("recmatd: drain budget %v expired with %d in flight; cancelling", s.cfg.DrainTimeout, s.gate.count())
+		s.drainCancel(ErrDraining)
+		// Cancelled engine runs abort within roughly one leaf-kernel
+		// latency; anything still here after MaxDeadline is wedged.
+		hard := time.NewTimer(s.cfg.MaxDeadline)
+		defer hard.Stop()
+		select {
+		case <-idle:
+		case <-hard.C:
+			return fmt.Errorf("serve: drain: %d requests wedged past cancellation", s.gate.count())
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d requests in flight: %w", s.gate.count(), context.Cause(ctx))
+		}
+	case <-ctx.Done():
+		s.drainCancel(ErrDraining)
+		select {
+		case <-idle:
+		case <-time.After(s.cfg.MaxDeadline):
+			return fmt.Errorf("serve: drain: %d requests wedged past cancellation", s.gate.count())
+		}
+	}
+	if buf, err := json.Marshal(s.reg.Snapshot()); err == nil {
+		s.cfg.Logf("recmatd: final metrics: %s", buf)
+	}
+	s.plans.close()
+	s.eng.Close()
+	s.cfg.Logf("recmatd: drained")
+	return nil
+}
+
+// Close is Drain with a background context (tests, defer paths).
+func (s *Server) Close() error { return s.Drain(context.Background()) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.gate.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.reg.Snapshot())
+}
+
+// handleGEMM is the request path: decode → validate → drain gate →
+// tenant quota → global admission → deadline assembly → compute →
+// typed response. Every early exit is a typed error with the right
+// status; every reservation is released on every path.
+func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required", 0)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if err := validate(&req, s.cfg.MaxDim); err != nil {
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
+		return
+	}
+	s.reqTotal.Inc()
+	t0 := time.Now()
+	defer func() { s.reqSeconds.Observe(time.Since(t0).Seconds()) }()
+
+	if !s.gate.enter() {
+		s.writeTypedError(w, ErrDraining)
+		return
+	}
+	defer s.gate.exit()
+
+	// Tenant quota: reserve the operand footprint, carry the unused
+	// remainder of the quota into the engine as this call's MemBudget.
+	budget, unreserve, err := s.quo.reserve(req.Tenant, operandBytes(req.M, req.K, req.N))
+	if err != nil {
+		s.writeTypedError(w, err)
+		return
+	}
+	defer unreserve()
+
+	// Global admission: slot, bounded queue, or shed. The raw request
+	// context is used here so a client that disconnects while queued
+	// frees its queue position without ever taking a slot.
+	release, queueWait, err := s.adm.acquire(r.Context())
+	if err != nil {
+		s.writeTypedError(w, err)
+		return
+	}
+	defer release()
+
+	// Deadline propagation: client disconnect (r.Context) + drain
+	// cancellation + min(client budget, server cap) all flow into one
+	// context the engine polls cooperatively.
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stopLink := context.AfterFunc(s.drainCtx, func() { cancel(ErrDraining) })
+	defer stopLink()
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, tcancel := context.WithTimeout(ctx, deadline)
+	defer tcancel()
+
+	resp, err := s.compute(ctx, &req, budget)
+	if err != nil {
+		s.writeTypedError(w, err)
+		return
+	}
+	resp.QueueNS = queueWait.Nanoseconds()
+	s.reqOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// planKey is the operand-identity key of the plan cache: tenant, name,
+// shape, seed, layout, and the partner-width bucket the plan was split
+// for. Everything that changes the packed bytes is in the key.
+func planKey(req *Request, lay recmat.Layout) string {
+	return req.Tenant + "/" + req.AName +
+		"/" + strconv.Itoa(req.M) + "x" + strconv.Itoa(req.K) +
+		"/s" + strconv.FormatInt(req.ASeed, 10) +
+		"/" + lay.String() +
+		"/p" + strconv.Itoa(partnerBucket(req.N))
+}
+
+// partnerBucket rounds the streamed right-hand width up to a power of
+// two (min 16) so plans are shared across nearby widths instead of one
+// plan per exact n.
+func partnerBucket(n int) int {
+	b := 16
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// compute runs the multiplication: the plan-cache path for named
+// recursive-layout operands (Prepack once, PrepackConforming the
+// streamed B, GEMMPrepacked), the direct path otherwise. The tenant's
+// budget rides Options.MemBudget on both paths. A panic anywhere in
+// the request path (the engine converts its own, but the serving code
+// and its fault hooks can panic too) becomes a typed internal error
+// instead of escaping into net/http, which would tear down the
+// connection untyped.
+func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("serve: compute panicked: %w", e)
+			} else {
+				err = fmt.Errorf("serve: compute panicked: %v", r)
+			}
+		}
+	}()
+	faultinject.Point("serve.compute")
+	var lay recmat.Layout
+	if req.Layout != "" {
+		l, err := recmat.ParseLayout(req.Layout)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", recmat.ErrDimension, err)
+		}
+		lay = l
+	}
+	var alg recmat.Algorithm
+	if req.Alg != "" {
+		a, err := recmat.ParseAlgorithm(req.Alg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", recmat.ErrDimension, err)
+		}
+		alg = a
+	}
+	opts := &recmat.Options{Layout: lay, Algorithm: alg, MemBudget: budget}
+
+	B := recmat.Random(req.K, req.N, rand.New(rand.NewSource(req.BSeed)))
+	var C *recmat.Matrix
+	if req.CSeed != 0 {
+		C = recmat.Random(req.M, req.N, rand.New(rand.NewSource(req.CSeed)))
+	} else {
+		C = recmat.NewMatrix(req.M, req.N)
+	}
+
+	var rep *recmat.Report
+	cached := false
+	if req.AName != "" && lay != recmat.ColMajor && s.cfg.PlanCacheBytes > 0 {
+		var ent *planEntry
+		ent, err = s.plans.acquire(planKey(req, lay), func() (*recmat.Plan, error) {
+			A := recmat.Random(req.M, req.K, rand.New(rand.NewSource(req.ASeed)))
+			popts := *opts
+			popts.PartnerDim = partnerBucket(req.N)
+			return s.eng.Prepack(A, false, &popts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer s.plans.release(ent)
+		cached = true
+		var pb *recmat.Plan
+		pb, err = s.eng.PrepackConforming(B, false, opts, ent.Plan())
+		if err != nil {
+			return nil, err
+		}
+		defer pb.Release()
+		rep, err = s.eng.GEMMPrepackedOpts(ctx, opts, req.alpha(), ent.Plan(), pb, req.Beta, C)
+	} else {
+		A := recmat.Random(req.M, req.K, rand.New(rand.NewSource(req.ASeed)))
+		rep, err = s.eng.DGEMMContext(ctx, false, false, req.alpha(), A, B, req.Beta, C, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	resp = &Response{
+		Tenant: req.Tenant, M: req.M, K: req.K, N: req.N,
+		AlgRan:     rep.Alg.String(),
+		Kernel:     rep.Kernel,
+		Degraded:   rep.Degraded,
+		PlanCached: cached,
+		ComputeNS:  rep.Compute.Nanoseconds(),
+		TotalNS:    rep.Total().Nanoseconds(),
+		CNorm:      norm1(C),
+	}
+	if req.ReturnData && req.M*req.N <= s.cfg.MaxReturnElems {
+		resp.Data = make([]float64, 0, req.M*req.N)
+		for j := 0; j < C.Cols; j++ {
+			resp.Data = append(resp.Data, C.Data[j*C.Stride:j*C.Stride+C.Rows]...)
+		}
+	}
+	return resp, nil
+}
+
+// norm1 is the entrywise 1-norm of a column-major matrix.
+func norm1(m *recmat.Matrix) float64 {
+	var s float64
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for _, v := range col {
+			if v < 0 {
+				s -= v
+			} else {
+				s += v
+			}
+		}
+	}
+	return s
+}
+
+// classify maps an error to its wire kind, HTTP status, and retry hint
+// — the single source of truth for the typed-error contract. Order
+// matters: drain cancellation looks like a context error to the
+// engine, so the serve sentinels are checked first.
+func classify(err error) (kind string, status int, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, recmat.ErrPoolClosed):
+		return KindDraining, http.StatusServiceUnavailable, time.Second
+	case errors.Is(err, ErrShed):
+		return KindShed, http.StatusTooManyRequests, time.Second
+	case errors.Is(err, ErrTooLarge):
+		return KindTooLarge, http.StatusRequestEntityTooLarge, 0
+	case errors.Is(err, ErrQuota):
+		return KindQuota, http.StatusTooManyRequests, time.Second
+	case errors.Is(err, recmat.ErrMemBudget):
+		// The degradation ladder found no rung inside the tenant's
+		// remaining quota; in-flight work completing may free budget.
+		return KindQuota, http.StatusTooManyRequests, time.Second
+	case errors.Is(err, recmat.ErrNonFinite), errors.Is(err, recmat.ErrDimension):
+		return KindBadRequest, http.StatusBadRequest, 0
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindDeadline, http.StatusGatewayTimeout, 0
+	case errors.Is(err, context.Canceled):
+		// 499 is nginx's "client closed request"; the client is gone,
+		// so the status is for the access log, not the wire.
+		return KindCanceled, 499, 0
+	default:
+		return KindInternal, http.StatusInternalServerError, 0
+	}
+}
+
+func (s *Server) writeTypedError(w http.ResponseWriter, err error) {
+	kind, status, retryAfter := classify(err)
+	s.reg.Counter("requests_failed_" + kind).Inc()
+	s.writeError(w, status, kind, err.Error(), retryAfter)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{
+		Kind:         kind,
+		Message:      msg,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	}})
+}
