@@ -44,10 +44,14 @@ stress:
 # whole time. The test asserts the daemon's robustness contract: it
 # sheds instead of wedging, every failure is a typed error kind,
 # identical request specs agree on their result norm, and drain leaves
-# no goroutine and no in-flight request behind.
+# no goroutine and no in-flight request behind. The soak runs twice:
+# once on the broad mixed workload and once on the batch workload
+# (RECMAT_SOAK_WORKLOAD=batch), whose same-key named requests keep the
+# request coalescer's batched waves under chaos for the whole run.
 RECMAT_SOAK ?= 60s
 soak:
 	RECMAT_SOAK='$(RECMAT_SOAK)' $(GO) test -race -count=1 -run 'TestChaosSoak|TestSoakResultConsistency' -v -timeout 10m ./internal/serve
+	RECMAT_SOAK='$(RECMAT_SOAK)' RECMAT_SOAK_WORKLOAD=batch $(GO) test -race -count=1 -run 'TestChaosSoak' -v -timeout 10m ./internal/serve
 
 # The observability gates. obs-gate bounds the disabled-tracer cost —
 # tracepoints-per-multiply × per-tracepoint nil-check cost, both
@@ -63,14 +67,16 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/recmat_trace.json
 
 # The perf-regression gate: re-measure the standard algorithm and
-# compare against the committed BENCH_6.json record. Individual points
+# compare against the committed BENCH_8.json record. Individual points
 # on a shared/bursty host swing ±30% between identical-code runs, so
 # the gate aggregates rather than failing per point: it fails when the
 # geometric-mean GFLOPS ratio regresses >10%, any single point
 # collapses >40% (the catastrophic floor), a point's conversion share
 # of end-to-end time grows >10 points (the amortized-conversion
-# guard), or the serve-prepacked/serve-percall speedup — measured
-# within one window, so host drift cancels — drops below 1.15x.
+# guard), the serve-prepacked/serve-percall speedup — measured
+# within one window, so host drift cancels — drops below 1.15x, or
+# the batched/looped GEMM speedup (same-window, schema 7) drops
+# below 1.2x.
 # n=512 keeps the gate fast; reps are high because a cold process
 # needs several reps per point before page faults and heap growth stop
 # dominating. -noscale: the host yardstick is a single sample with the
@@ -81,7 +87,7 @@ trace-smoke:
 # warrants one re-run before treating it as a real regression.
 bench:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard
-	$(GO) run ./cmd/benchdiff -baseline BENCH_7.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15
+	$(GO) run ./cmd/benchdiff -baseline BENCH_8.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15 -batchmin 1.2
 
 # The kernel acceptance benchmark: every registered kernel — packed
 # pure-Go tiers and whatever assembly kernels the host unlocked —
@@ -95,4 +101,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_7.json -reps 4
+	$(GO) run ./cmd/benchjson -o BENCH_8.json -reps 4

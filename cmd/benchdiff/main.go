@@ -4,12 +4,12 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_6.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
+//	benchdiff -baseline BENCH_8.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
 //
 // Results are keyed on (n, mode, algorithm, layout, kernel); only keys
 // present in both files are compared (records from schema ≤2 files have
 // no mode and compare against mode-less candidates). With -alg set, the
-// comparison is restricted to that algorithm. All schemas 1–6 load: the
+// comparison is restricted to that algorithm. All schemas 1–7 load: the
 // decoder ignores fields a schema lacks, per-schema gates arm only when
 // both files carry the data, and schema 5's cpu_features is metadata
 // only — kernels present in just one file (e.g. an assembly kernel the
@@ -17,7 +17,13 @@
 // serve-daemon records carry gflops=0 (they measure latency and shed
 // rate under deliberate overload, not throughput of one multiply), so
 // they never enter the GFLOPS gates; when both files have one, the p99
-// and shed-rate movement is printed for information only.
+// and shed-rate movement is printed for information only. Schema 7's
+// batch-engine/batch-looped record pairs (and their batch-serve-*
+// serving-shape twins) gate within the candidate like the serve pair
+// does: the batched/looped speedup is measured in one window, so host
+// drift cancels, and -batchmin is the floor it must clear. The
+// serve-daemon-batch record (coalescing workload) prints its QPS and
+// coalesce rate informationally alongside serve-daemon.
 //
 // Cross-file point-by-point comparison on a shared host is dominated by
 // burstiness (individual points swing ±30% between identical-code
@@ -88,6 +94,10 @@ type result struct {
 	P99Seconds float64 `json:"p99_seconds"`
 	QPS        float64 `json:"qps"`
 	ShedRate   float64 `json:"shed_rate"`
+	// Batched-path fields (schema 7).
+	BatchSize      int     `json:"batch_size"`
+	PerItemSeconds float64 `json:"per_item_seconds"`
+	CoalesceRate   float64 `json:"coalesce_rate"`
 }
 
 type output struct {
@@ -107,6 +117,9 @@ type point struct {
 	utilization  *float64
 	p50, p99     float64
 	qps, shed    float64
+	batchSize    int
+	perItem      float64
+	coalesce     float64
 }
 
 func load(path string) (map[key]point, float64, int, error) {
@@ -123,6 +136,7 @@ func load(path string) (map[key]point, float64, int, error) {
 		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{
 			r.GFLOPS, r.ConvertShare, r.WorkerUtilization,
 			r.P50Seconds, r.P99Seconds, r.QPS, r.ShedRate,
+			r.BatchSize, r.PerItemSeconds, r.CoalesceRate,
 		}
 	}
 	return m, o.RefGFLOPS, o.Schema, nil
@@ -136,6 +150,7 @@ func main() {
 	pointTol := flag.Float64("pointtol", 0.40, "allowed fractional regression of any single point (catastrophic floor)")
 	convTol := flag.Float64("convtol", 0.10, "allowed absolute growth in conversion share of total time")
 	serveMin := flag.Float64("servemin", 1.15, "required serve-prepacked / serve-percall speedup within the candidate (0 disables)")
+	batchMin := flag.Float64("batchmin", 1.2, "required batch-engine / batch-looped speedup within the candidate (0 disables)")
 	utilTol := flag.Float64("utiltol", 0.20, "allowed absolute drop in worker utilization (needs schema >=4 on both sides; 0 disables)")
 	noscale := flag.Bool("noscale", false, "disable host-yardstick rescaling")
 	flag.Parse()
@@ -234,20 +249,53 @@ func main() {
 		}
 	}
 
-	// Serving-daemon records (schema 6): latency and shed rate under a
-	// deliberately saturating load. Offered load, host contention, and
+	// Batched-GEMM gate (schema 7): like the serve gate, the batched vs
+	// looped pair shares one measurement window of the candidate, so the
+	// speedup is stable where cross-file points are not. It guards the
+	// one-wave amortization directly — a change that quietly re-inflates
+	// the per-item fixed costs fails here before it shows in the mean.
+	if *batchMin > 0 {
+		for k, be := range cand {
+			var loopedMode string
+			switch k.mode {
+			case "batch-engine":
+				loopedMode = "batch-looped"
+			case "batch-serve-engine":
+				loopedMode = "batch-serve-looped"
+			default:
+				continue
+			}
+			blKey := k
+			blKey.mode = loopedMode
+			bl, ok := cand[blKey]
+			if !ok || bl.gflops <= 0 {
+				continue
+			}
+			speedup := be.gflops / bl.gflops
+			fmt.Printf("  n=%-5d %s speedup %.2fx over %s, %.1fus/item batch of %d (floor %.2fx)\n",
+				k.n, k.mode, speedup, loopedMode, 1e6*be.perItem, be.batchSize, *batchMin)
+			if speedup < *batchMin {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchdiff: %s speedup %.2fx at n=%d below floor %.2fx\n", k.mode, speedup, k.n, *batchMin)
+			}
+		}
+	}
+
+	// Serving-daemon records (schema 6; schema 7 adds the coalescing
+	// workload twin and the coalesce rate): latency and shed rate under
+	// a deliberately saturating load. Offered load, host contention, and
 	// the generated request mix all move these numbers, so they inform
 	// rather than gate.
 	for k, bp := range base {
-		if k.mode != "serve-daemon" {
+		if k.mode != "serve-daemon" && k.mode != "serve-daemon-batch" {
 			continue
 		}
 		cp, ok := cand[k]
 		if !ok {
 			continue
 		}
-		fmt.Printf("  serve-daemon n=%-5d p50 %6.2fms -> %6.2fms  p99 %6.2fms -> %6.2fms  qps %6.0f -> %6.0f  shed %4.1f%% -> %4.1f%% (informational)\n",
-			k.n, 1e3*bp.p50, 1e3*cp.p50, 1e3*bp.p99, 1e3*cp.p99, bp.qps, cp.qps, 100*bp.shed, 100*cp.shed)
+		fmt.Printf("  %s n=%-5d p50 %6.2fms -> %6.2fms  p99 %6.2fms -> %6.2fms  qps %6.0f -> %6.0f  shed %4.1f%% -> %4.1f%%  coalesce %4.1f%% -> %4.1f%% (informational)\n",
+			k.mode, k.n, 1e3*bp.p50, 1e3*cp.p50, 1e3*bp.p99, 1e3*cp.p99, bp.qps, cp.qps, 100*bp.shed, 100*cp.shed, 100*bp.coalesce, 100*cp.coalesce)
 	}
 
 	if failed > 0 {

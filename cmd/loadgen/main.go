@@ -6,7 +6,7 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-duration 10s] [-conc 8]
 //	        [-tenants 4] [-max-dim 256] [-named 0.5] [-deadline 2000]
-//	        [-seed 1] [-json]
+//	        [-seed 1] [-workload mixed|batch] [-json]
 //
 // Each of -conc workers loops submit → wait → submit against the
 // daemon, so offered load tracks capacity; raise -conc past the
@@ -35,6 +35,7 @@ func main() {
 	named := flag.Float64("named", 0.5, "fraction of requests using named (plan-cached) operands")
 	deadline := flag.Int64("deadline", 2000, "per-request deadline in ms")
 	seed := flag.Int64("seed", 1, "generator seed")
+	workload := flag.String("workload", "mixed", "request mix: mixed | batch (coalescing workload: few named small operands, skinny right-hand sides)")
 	retries := flag.Int("retries", 3, "client retry budget for retryable failures (-1 disables)")
 	asJSON := flag.Bool("json", false, "emit the summary as JSON")
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		NamedFrac:   *named,
 		DeadlineMS:  *deadline,
 		Seed:        *seed,
+		Workload:    *workload,
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -64,6 +66,8 @@ func main() {
 			"p99_seconds":      sum.Percentile(99).Seconds(),
 			"degraded":         sum.Degraded,
 			"plan_cached":      sum.PlanCached,
+			"coalesced":        sum.Coalesced,
+			"coalesce_rate":    sum.CoalesceRate(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

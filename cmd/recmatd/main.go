@@ -1,15 +1,16 @@
 // recmatd is the GEMM-serving daemon: an HTTP front end over one
 // recmat engine that multiplies matrices for many concurrent tenants
 // with per-request deadlines, per-tenant memory quotas, bounded-queue
-// admission with load shedding, a refcounted prepacked-plan cache, and
-// graceful drain on SIGTERM/SIGINT.
+// admission with load shedding, a refcounted prepacked-plan cache,
+// request coalescing (queued requests sharing a plan-cache entry merge
+// into one batched engine call), and graceful drain on SIGTERM/SIGINT.
 //
 // Usage:
 //
 //	recmatd [-addr :8080] [-workers 0] [-max-inflight 0] [-queue 0]
 //	        [-queue-wait 500ms] [-tenant-quota 268435456]
 //	        [-deadline 2s] [-max-deadline 10s] [-drain 5s]
-//	        [-plan-cache 536870912] [-max-dim 4096]
+//	        [-plan-cache 536870912] [-max-dim 4096] [-max-batch 8]
 //
 // Endpoints:
 //
@@ -51,6 +52,7 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "graceful drain budget before cancelling in-flight work")
 	planCache := flag.Int64("plan-cache", 512<<20, "prepacked plan cache bytes (negative disables)")
 	maxDim := flag.Int("max-dim", 4096, "max m, k, n accepted")
+	maxBatch := flag.Int("max-batch", 0, "max requests coalesced into one engine call (0 = 8, negative disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -65,6 +67,7 @@ func main() {
 		DrainTimeout:     *drain,
 		PlanCacheBytes:   *planCache,
 		MaxDim:           *maxDim,
+		MaxBatch:         *maxBatch,
 		Logf:             logger.Printf,
 	})
 	if err := s.PublishExpvar("recmat"); err != nil {

@@ -124,6 +124,52 @@ func admit(o Options, workers, mp, kp, np, tm, tk, tn int, resident bool) (Alg, 
 		ErrMemBudget, prev.alg, serialTag(prev.serial), fmtBytes(prevEst), mp, kp, np, fmtBytes(o.MemBudget))
 }
 
+// estimateWaveBytes is estimateBytes for a batched wave: the packed
+// term is the largest member's wave-owned buffers multiplied by the
+// number of members that can execute concurrently (min(items, workers);
+// one when serial — a serial wave runs its members strictly in turn).
+// The arena term is supplied per algorithm because the wave's
+// reservation is the maximum single-item depth-first path over possibly
+// heterogeneous member geometries, which only the caller can compute.
+func estimateWaveBytes(alg Alg, workers, inflight int, perPacked int64, scratchPer int, arenaPer func(Alg) int64, serial bool) int64 {
+	inf := int64(minInt(inflight, workers))
+	stacks := int64(workers)
+	w := int64(workers)
+	if serial {
+		inf, stacks, w = 1, 1, 1
+	}
+	return 8 * (perPacked*inf + arenaPer(alg)*stacks + w*int64(scratchPer))
+}
+
+// admitWave is admission control for a batched wave: one MemBudget
+// charge for the whole batch, walking the same degradation ladder as
+// admit — the entire wave degrades together (mixed-algorithm waves
+// would defeat the shared arena sizing). When no rung fits even with
+// members serialized, the wave is rejected with ErrMemBudget before any
+// allocation, leaving every member's C untouched.
+func admitWave(o Options, workers, inflight int, perPacked int64, scratchPer int, arenaPer func(Alg) int64) (Alg, bool, int64, []string, error) {
+	ladder := ladderFor(o.Alg)
+	requested := ladder[0]
+	est := estimateWaveBytes(requested.alg, workers, inflight, perPacked, scratchPer, arenaPer, requested.serial)
+	if o.MemBudget <= 0 || est <= o.MemBudget {
+		return requested.alg, requested.serial, est, nil, nil
+	}
+	var notes []string
+	prev, prevEst := requested, est
+	for _, r := range ladder[1:] {
+		e := estimateWaveBytes(r.alg, workers, inflight, perPacked, scratchPer, arenaPer, r.serial)
+		notes = append(notes, fmt.Sprintf("mem-budget: wave of %d: %v%s estimated %s > budget %s; degraded to %v%s (estimated %s)",
+			inflight, prev.alg, serialTag(prev.serial), fmtBytes(prevEst), fmtBytes(o.MemBudget),
+			r.alg, serialTag(r.serial), fmtBytes(e)))
+		if e <= o.MemBudget {
+			return r.alg, r.serial, e, notes, nil
+		}
+		prev, prevEst = r, e
+	}
+	return 0, false, est, nil, fmt.Errorf("%w: smallest ladder rung (%v%s) estimated %s for a wave of %d items still exceeds budget %s",
+		ErrMemBudget, prev.alg, serialTag(prev.serial), fmtBytes(prevEst), inflight, fmtBytes(o.MemBudget))
+}
+
 func serialTag(serial bool) string {
 	if serial {
 		return " (serial)"

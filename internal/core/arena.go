@@ -218,7 +218,16 @@ const maxArenaElems = int64(1) << 33
 // 0). Returns nil when the algorithm needs no temporaries or the
 // reservation would be absurd; the run then heap-allocates as before.
 func acquireArena(alg Alg, tiles, tm, tk, tn, fastCutoff, stacks int) *arena {
-	per := arenaStackElems(alg, tiles, tm, tk, tn, fastCutoff)
+	return acquireArenaElems(arenaStackElems(alg, tiles, tm, tk, tn, fastCutoff), stacks)
+}
+
+// acquireArenaElems reserves stacks × per elements directly — the form
+// the batched wave driver uses, where per is the maximum single-item
+// depth-first path over the wave's (possibly heterogeneous) geometries.
+// A worker interleaving frames of two items under help-first stealing
+// can transiently exceed its stack, exactly like cross-subtree stealing
+// in a single call; the heap fallback absorbs it.
+func acquireArenaElems(per int64, stacks int) *arena {
 	if per <= 0 {
 		return nil
 	}

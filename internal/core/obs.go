@@ -96,6 +96,14 @@ const (
 	metricTotalSeconds       = "total_seconds"
 	metricGFLOPS             = "gflops"
 	metricUtilization        = "worker_utilization"
+	// The batched wave driver records one gemm_batch_calls per wave,
+	// gemm_batch_items per member scheduled into it, and the wave size
+	// in the batch_size histogram — the engine-side view of how much
+	// per-call overhead the batch path amortized.
+	metricBatchCalls  = "gemm_batch_calls"
+	metricBatchItems  = "gemm_batch_items"
+	metricBatchSize   = "batch_size"
+	metricBatchErrors = "gemm_batch_item_errors"
 	// metricKernelCallsPrefix labels calls by the leaf kernel that
 	// actually ran (e.g. kernel_calls_avx2) — with runtime CPU dispatch
 	// and autotuning in front of the kernels, traces and scrapes must

@@ -184,56 +184,81 @@ func (t *Tiled) Pack(ctx context.Context, pool *sched.Pool, src *matrix.Dense, t
 		return fmt.Errorf("core: pack %dx%d into tiled %dx%d", srows, scols, t.Rows, t.Cols)
 	}
 	side := 1 << t.D
-	ts := t.TR * t.TC
 	coords := tileCoords(t.Curve, t.D)
 	return runChunks(ctx, pool, side*side, obs.KindPack, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			var ti, tj uint32
-			if coords != nil {
-				pc := coords[s]
-				ti, tj = pc>>16, pc&0xffff
-			} else {
-				ti, tj = t.Curve.SInverse(uint64(s), t.D)
+		t.packTiles(src, trans, alpha, coords, lo, hi)
+	})
+}
+
+// packTiles packs tiles [lo, hi) of the curve walk — the serial body
+// Pack parallelizes over the pool. It is also the conversion primitive
+// of the batched wave driver, whose item tasks already execute on pool
+// workers and therefore must not re-enter pool.RunCtx.
+func (t *Tiled) packTiles(src *matrix.Dense, trans bool, alpha float64, coords []uint32, lo, hi int) {
+	ts := t.TR * t.TC
+	for s := lo; s < hi; s++ {
+		var ti, tj uint32
+		if coords != nil {
+			pc := coords[s]
+			ti, tj = pc>>16, pc&0xffff
+		} else {
+			ti, tj = t.Curve.SInverse(uint64(s), t.D)
+		}
+		base := s * ts
+		i0, j0 := int(ti)*t.TR, int(tj)*t.TC
+		for jj := 0; jj < t.TC; jj++ {
+			dcol := t.Data[base+jj*t.TR : base+jj*t.TR+t.TR]
+			gj := j0 + jj
+			if gj >= t.Cols {
+				vZero(dcol)
+				continue
 			}
-			base := s * ts
-			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
-			for jj := 0; jj < t.TC; jj++ {
-				dcol := t.Data[base+jj*t.TR : base+jj*t.TR+t.TR]
-				gj := j0 + jj
-				if gj >= t.Cols {
-					vZero(dcol)
-					continue
+			vr := t.Rows - i0
+			if vr > t.TR {
+				vr = t.TR
+			}
+			if vr <= 0 {
+				vZero(dcol)
+				continue
+			}
+			switch {
+			case trans:
+				// Logical (i, gj) = src(gj, i): strided row read.
+				for ii := 0; ii < vr; ii++ {
+					dcol[ii] = alpha * src.Data[(i0+ii)*src.Stride+gj]
 				}
-				vr := t.Rows - i0
-				if vr > t.TR {
-					vr = t.TR
+			case alpha == 1:
+				// The fused C epilogue packs operands unscaled, so
+				// the common case is a straight copy.
+				copy(dcol[:vr], src.Data[gj*src.Stride+i0:gj*src.Stride+i0+vr])
+			default:
+				scol := src.Data[gj*src.Stride+i0:]
+				for ii := 0; ii < vr; ii++ {
+					dcol[ii] = alpha * scol[ii]
 				}
-				if vr <= 0 {
-					vZero(dcol)
-					continue
-				}
-				switch {
-				case trans:
-					// Logical (i, gj) = src(gj, i): strided row read.
-					for ii := 0; ii < vr; ii++ {
-						dcol[ii] = alpha * src.Data[(i0+ii)*src.Stride+gj]
-					}
-				case alpha == 1:
-					// The fused C epilogue packs operands unscaled, so
-					// the common case is a straight copy.
-					copy(dcol[:vr], src.Data[gj*src.Stride+i0:gj*src.Stride+i0+vr])
-				default:
-					scol := src.Data[gj*src.Stride+i0:]
-					for ii := 0; ii < vr; ii++ {
-						dcol[ii] = alpha * scol[ii]
-					}
-				}
-				for ii := vr; ii < t.TR; ii++ {
-					dcol[ii] = 0
-				}
+			}
+			for ii := vr; ii < t.TR; ii++ {
+				dcol[ii] = 0
 			}
 		}
-	})
+	}
+}
+
+// packSerial is Pack run entirely on the calling goroutine — same
+// validation, same per-element arithmetic, no pool involvement. The
+// per-tile loop body is shared with Pack (packTiles), so the two forms
+// are bit-exact by construction.
+func (t *Tiled) packSerial(src *matrix.Dense, trans bool, alpha float64) error {
+	srows, scols := src.Rows, src.Cols
+	if trans {
+		srows, scols = scols, srows
+	}
+	if srows != t.Rows || scols != t.Cols {
+		return fmt.Errorf("core: pack %dx%d into tiled %dx%d", srows, scols, t.Rows, t.Cols)
+	}
+	side := 1 << t.D
+	t.packTiles(src, trans, alpha, tileCoords(t.Curve, t.D), 0, side*side)
+	return nil
 }
 
 // Unpack copies the logical region back out to a column-major matrix,
@@ -287,45 +312,63 @@ func (t *Tiled) UnpackAccumulate(ctx context.Context, pool *sched.Pool, dst *mat
 		return fmt.Errorf("core: unpack tiled %dx%d into %dx%d", t.Rows, t.Cols, dst.Rows, dst.Cols)
 	}
 	side := 1 << t.D
-	ts := t.TR * t.TC
 	coords := tileCoords(t.Curve, t.D)
 	return runChunks(ctx, pool, side*side, obs.KindUnpack, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			var ti, tj uint32
-			if coords != nil {
-				pc := coords[s]
-				ti, tj = pc>>16, pc&0xffff
+		t.unpackAccumulateTiles(dst, alpha, coords, lo, hi)
+	})
+}
+
+// unpackAccumulateTiles accumulates tiles [lo, hi) of the curve walk
+// into dst — the serial body UnpackAccumulate parallelizes over the
+// pool, shared with the batched wave driver (see packTiles).
+func (t *Tiled) unpackAccumulateTiles(dst *matrix.Dense, alpha float64, coords []uint32, lo, hi int) {
+	ts := t.TR * t.TC
+	for s := lo; s < hi; s++ {
+		var ti, tj uint32
+		if coords != nil {
+			pc := coords[s]
+			ti, tj = pc>>16, pc&0xffff
+		} else {
+			ti, tj = t.Curve.SInverse(uint64(s), t.D)
+		}
+		base := s * ts
+		i0, j0 := int(ti)*t.TR, int(tj)*t.TC
+		if i0 >= t.Rows || j0 >= t.Cols {
+			continue
+		}
+		vr := t.Rows - i0
+		if vr > t.TR {
+			vr = t.TR
+		}
+		vc := t.Cols - j0
+		if vc > t.TC {
+			vc = t.TC
+		}
+		for jj := 0; jj < vc; jj++ {
+			dcol := dst.Data[(j0+jj)*dst.Stride+i0 : (j0+jj)*dst.Stride+i0+vr]
+			scol := t.Data[base+jj*t.TR : base+jj*t.TR+vr]
+			if alpha == 1 {
+				for ii := range dcol {
+					dcol[ii] += scol[ii]
+				}
 			} else {
-				ti, tj = t.Curve.SInverse(uint64(s), t.D)
-			}
-			base := s * ts
-			i0, j0 := int(ti)*t.TR, int(tj)*t.TC
-			if i0 >= t.Rows || j0 >= t.Cols {
-				continue
-			}
-			vr := t.Rows - i0
-			if vr > t.TR {
-				vr = t.TR
-			}
-			vc := t.Cols - j0
-			if vc > t.TC {
-				vc = t.TC
-			}
-			for jj := 0; jj < vc; jj++ {
-				dcol := dst.Data[(j0+jj)*dst.Stride+i0 : (j0+jj)*dst.Stride+i0+vr]
-				scol := t.Data[base+jj*t.TR : base+jj*t.TR+vr]
-				if alpha == 1 {
-					for ii := range dcol {
-						dcol[ii] += scol[ii]
-					}
-				} else {
-					for ii := range dcol {
-						dcol[ii] += alpha * scol[ii]
-					}
+				for ii := range dcol {
+					dcol[ii] += alpha * scol[ii]
 				}
 			}
 		}
-	})
+	}
+}
+
+// unpackAccumulateSerial is UnpackAccumulate on the calling goroutine —
+// the epilogue primitive of the batched wave driver (see packSerial).
+func (t *Tiled) unpackAccumulateSerial(dst *matrix.Dense, alpha float64) error {
+	if dst.Rows != t.Rows || dst.Cols != t.Cols {
+		return fmt.Errorf("core: unpack tiled %dx%d into %dx%d", t.Rows, t.Cols, dst.Rows, dst.Cols)
+	}
+	side := 1 << t.D
+	t.unpackAccumulateTiles(dst, alpha, tileCoords(t.Curve, t.D), 0, side*side)
+	return nil
 }
 
 // PackTransposeOf fills t with the transpose of an already-packed tiled

@@ -202,6 +202,34 @@ func Random(m, n int, rng *rand.Rand) *Dense {
 	return a
 }
 
+// RandomSeeded returns an m×n matrix with entries in [-1, 1) generated
+// by a splitmix64 stream over the seed. It is the seed→operand contract
+// of the serving layer: unlike math/rand, whose NewSource runs ~600
+// mixing rounds before the first draw — more work than filling a small
+// serving-shaped operand — seeding here is one add, so materializing
+// operands from request seeds costs only the fill itself.
+func RandomSeeded(m, n int, seed int64) *Dense {
+	a := New(m, n)
+	SeedFill(a.Data, seed)
+	return a
+}
+
+// SeedFill fills dst with the splitmix64 stream over seed — the same
+// values RandomSeeded produces for a contiguous matrix, exposed so
+// callers recycling buffers (the serving layer's operand pool) share
+// one definition of the seed→values contract.
+func SeedFill(dst []float64, seed int64) {
+	s := uint64(seed)
+	for k := range dst {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		dst[k] = 2*(float64(z>>11)*0x1p-53) - 1
+	}
+}
+
 // Sequential returns an m×n matrix whose (i, j) element is i*n+j+1; its
 // distinct, structured values make layout bugs (transpositions, swapped
 // quadrants) show up as large, easily-localized errors in tests.

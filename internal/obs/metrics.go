@@ -86,6 +86,10 @@ var (
 	GFLOPSBuckets = []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 	// RatioBuckets covers [0, 1] quantities like worker utilization.
 	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	// BatchBuckets covers wave/coalesce sizes in powers of two: a
+	// request batched alone lands in the first bucket, the admission
+	// queue's worth of coalesced members in the middle ones.
+	BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 )
 
 // Registry holds named counters and histograms. The zero value is not

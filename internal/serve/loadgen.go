@@ -37,6 +37,14 @@ type LoadGen struct {
 	DeadlineMS int64
 	// Seed makes the run reproducible (default 1).
 	Seed int64
+	// Workload selects the request mix: "" or "mixed" is the broad
+	// log-uniform multi-tenant mix; "batch" is the coalescing workload —
+	// every request names one of a few fixed small operands in a
+	// recursive layout with a skinny right-hand side in a single partner
+	// bucket, so concurrent requests hash to the same plan-cache entries
+	// and the daemon's request coalescer can merge them into batched
+	// engine calls.
+	Workload string
 	// OnResult, when non-nil, observes every completed attempt
 	// (concurrently; must be goroutine-safe).
 	OnResult func(Result)
@@ -62,9 +70,12 @@ type Summary struct {
 	// transport/context failures count under "transport".
 	Failed map[string]int `json:"failed,omitempty"`
 	// Degraded counts successful responses that ran on a degradation
-	// rung; PlanCached counts successes served from the plan cache.
+	// rung; PlanCached counts successes served from the plan cache;
+	// Coalesced counts successes that shared a batched engine call with
+	// at least one sibling request.
 	Degraded   int `json:"degraded"`
 	PlanCached int `json:"plan_cached"`
+	Coalesced  int `json:"coalesced"`
 
 	latencies []time.Duration // successful requests only
 }
@@ -96,10 +107,19 @@ func (s *Summary) Percentile(p float64) time.Duration {
 	return s.latencies[idx]
 }
 
+// CoalesceRate is the fraction of successful requests that shared a
+// batched engine call.
+func (s *Summary) CoalesceRate() float64 {
+	if s.OK == 0 {
+		return 0
+	}
+	return float64(s.Coalesced) / float64(s.OK)
+}
+
 func (s *Summary) String() string {
-	return fmt.Sprintf("total=%d ok=%d failed=%v qps=%.1f shed=%.1f%% p50=%v p99=%v degraded=%d cached=%d",
+	return fmt.Sprintf("total=%d ok=%d failed=%v qps=%.1f shed=%.1f%% p50=%v p99=%v degraded=%d cached=%d coalesced=%d",
 		s.Total, s.OK, s.Failed, s.QPS(), 100*s.ShedRate(),
-		s.Percentile(50), s.Percentile(99), s.Degraded, s.PlanCached)
+		s.Percentile(50), s.Percentile(99), s.Degraded, s.PlanCached, s.Coalesced)
 }
 
 // Run drives the daemon until ctx ends and returns the aggregate.
@@ -144,7 +164,12 @@ func (g *LoadGen) Run(ctx context.Context) *Summary {
 			rng := rand.New(rand.NewSource(seed + int64(w)))
 			tenant := fmt.Sprintf("t%d", w%tenants)
 			for ctx.Err() == nil {
-				req := g.genRequest(rng, tenant, maxDim, namedFrac, namedOps, deadlineMS)
+				var req *Request
+				if g.Workload == "batch" {
+					req = g.genBatchRequest(rng, tenant, maxDim, deadlineMS)
+				} else {
+					req = g.genRequest(rng, tenant, maxDim, namedFrac, namedOps, deadlineMS)
+				}
 				rt0 := time.Now()
 				resp, err := g.Client.Do(ctx, req)
 				res := Result{
@@ -164,6 +189,9 @@ func (g *LoadGen) Run(ctx context.Context) *Summary {
 					}
 					if resp.PlanCached {
 						sum.PlanCached++
+					}
+					if resp.Coalesced {
+						sum.Coalesced++
 					}
 				} else {
 					sum.Failed[failKind(err)]++
@@ -207,6 +235,33 @@ func (g *LoadGen) genRequest(rng *rand.Rand, tenant string, maxDim int, namedFra
 		req.Beta = 0.5
 	}
 	return req
+}
+
+// genBatchRequest draws one coalescing-workload request: every request
+// names one of two fixed square operands in the Z-Morton layout — 256×256,
+// scaled down to the largest power of two within MaxDim (floor 32, so the
+// skinny widths below always fit a daemon's accept limit) — with a
+// right-hand side whose width stays inside one partner bucket
+// (17..32 → bucket 32). Concurrent workers on the same tenant therefore
+// hash to only two plan-cache keys, the shape the daemon's request
+// coalescer merges into batched engine calls under queueing.
+func (g *LoadGen) genBatchRequest(rng *rand.Rand, tenant string, maxDim int, deadlineMS int64) *Request {
+	dim := 256
+	for dim > 32 && dim > maxDim {
+		dim >>= 1
+	}
+	id := rng.Intn(2)
+	return &Request{
+		Tenant:     tenant,
+		M:          dim,
+		K:          dim,
+		N:          17 + rng.Intn(16), // one partner bucket: [17, 32]
+		AName:      fmt.Sprintf("bw%d", id),
+		ASeed:      int64(id + 1),
+		BSeed:      int64(rng.Intn(1 << 20)),
+		Layout:     "z",
+		DeadlineMS: deadlineMS,
+	}
 }
 
 func logBase2(n int) float64 {

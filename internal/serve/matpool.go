@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"math/bits"
+	"sync"
+
+	recmat "repro"
+)
+
+// Operand recycling for the request path. A saturated daemon
+// materializes two or three small matrices per request from seeds and
+// drops them the moment the response is built — at thousands of
+// requests per second that is the dominant source of garbage on the
+// serving box. Buffers are pooled in power-of-two element classes and
+// wrapped as contiguous (Stride == Rows) matrices; anything larger
+// than the top class, or any matrix the pool didn't produce, is left
+// to the garbage collector.
+
+const matPoolMaxClass = 22 // 4Mi elements (32 MiB per buffer)
+
+var matPool [matPoolMaxClass + 1]sync.Pool
+
+// getMatBuf returns a recycled (or fresh) buffer of exactly n elements
+// with pooled capacity, or nil when n is above the pooled classes.
+// Contents are unspecified — callers overwrite or zero it.
+func getMatBuf(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1))
+	if c > matPoolMaxClass {
+		return nil
+	}
+	if v := matPool[c].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, 1<<c)[:n]
+}
+
+// seededMat materializes an m×n operand from seed, recycling a pooled
+// buffer when one fits. Values are identical to recmat.RandomSeeded.
+func seededMat(m, n int, seed int64) *recmat.Matrix {
+	buf := getMatBuf(m * n)
+	if buf == nil {
+		return recmat.RandomSeeded(m, n, seed)
+	}
+	recmat.SeedFill(buf, seed)
+	return &recmat.Matrix{Rows: m, Cols: n, Stride: max(m, 1), Data: buf}
+}
+
+// zeroMat returns a zeroed m×n matrix, recycling a pooled buffer when
+// one fits.
+func zeroMat(m, n int) *recmat.Matrix {
+	buf := getMatBuf(m * n)
+	if buf == nil {
+		return recmat.NewMatrix(m, n)
+	}
+	clear(buf)
+	return &recmat.Matrix{Rows: m, Cols: n, Stride: max(m, 1), Data: buf}
+}
+
+// freeMat returns a matrix's buffer to the pool. Safe on nil and on
+// matrices the pool didn't produce (views, oversized, odd strides) —
+// those are simply left to the GC. The caller must not touch the
+// matrix afterwards.
+func freeMat(a *recmat.Matrix) {
+	if a == nil || a.Stride != max(a.Rows, 1) || cap(a.Data) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(a.Data))) - 1 // largest class fully backed
+	if c > matPoolMaxClass || a.Rows*a.Cols > 1<<c {
+		return
+	}
+	matPool[c].Put(a.Data[:1<<c])
+}

@@ -66,6 +66,11 @@ type Response struct {
 	Degraded []string `json:"degraded,omitempty"`
 	// PlanCached reports whether A was served from the plan cache.
 	PlanCached bool `json:"plan_cached"`
+	// Coalesced reports that this request shared a batched engine call
+	// with at least one other queued request; BatchSize is the wave size
+	// it rode in (1 for a batch-path request that ran alone).
+	Coalesced bool `json:"coalesced,omitempty"`
+	BatchSize int  `json:"batch_size,omitempty"`
 	// QueueNS is the time the request waited in the admission queue;
 	// ComputeNS and TotalNS are the engine's compute and end-to-end
 	// times for the multiplication itself.

@@ -18,7 +18,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
-	"math/rand"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -60,6 +60,11 @@ type Config struct {
 	// PlanCacheBytes bounds the prepacked-plan LRU (0 = 512 MiB,
 	// negative disables caching).
 	PlanCacheBytes int64
+	// MaxBatch bounds how many queued requests hashing to the same
+	// plan-cache entry may coalesce into one batched engine call
+	// (0 = 8, negative disables coalescing). The batching window is the
+	// admission queue wait itself — an idle server coalesces nothing.
+	MaxBatch int
 	// MaxDim bounds each of m, k, n (0 = 4096).
 	MaxDim int
 	// MaxReturnElems caps ReturnData echoes (0 = 4096 elements).
@@ -97,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheBytes == 0 {
 		c.PlanCacheBytes = 512 << 20
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxBatch < 0 {
+		c.MaxBatch = 1 // below the coalescer's minimum: disabled
+	}
 	if c.MaxDim <= 0 {
 		c.MaxDim = 4096
 	}
@@ -119,6 +130,7 @@ type Server struct {
 	adm   *admission
 	quo   *quotas
 	plans *planCache
+	co    *coalescer
 	mux   *http.ServeMux
 
 	// gate tracks in-flight requests and flips atomically to draining:
@@ -153,6 +165,7 @@ func New(cfg Config) *Server {
 		reqSeconds: reg.Histogram("request_seconds", obs.SecondsBuckets),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
+	s.co = newCoalescer(s, cfg.MaxBatch)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -342,6 +355,22 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	}
 	defer unreserve()
 
+	// Coalescing path: plan-cacheable requests join (or lead) a wave
+	// keyed by their plan-cache entry instead of taking their own
+	// admission slot — the leader's queue wait is the batching window.
+	// Deadlines are applied per member inside the wave.
+	if lay, ok := s.co.eligible(&req); ok {
+		resp, cerr := s.co.do(r.Context(), &req, budget, lay)
+		if cerr != nil {
+			s.writeTypedError(w, cerr)
+			return
+		}
+		s.reqOK.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+
 	// Global admission: slot, bounded queue, or shed. The raw request
 	// context is used here so a client that disconnects while queued
 	// frees its queue position without ever taking a slot.
@@ -439,23 +468,39 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 	}
 	opts := &recmat.Options{Layout: lay, Algorithm: alg, MemBudget: budget}
 
-	B := recmat.Random(req.K, req.N, rand.New(rand.NewSource(req.BSeed)))
+	B := seededMat(req.K, req.N, req.BSeed)
 	var C *recmat.Matrix
 	if req.CSeed != 0 {
-		C = recmat.Random(req.M, req.N, rand.New(rand.NewSource(req.CSeed)))
+		C = seededMat(req.M, req.N, req.CSeed)
 	} else {
-		C = recmat.NewMatrix(req.M, req.N)
+		C = zeroMat(req.M, req.N)
 	}
+	var A *recmat.Matrix
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking engine may leave operand buffers in an unknown
+			// state of sharing — poisoned buffers go to the GC, not the
+			// pool. Re-raise for the outer recover to type the error.
+			panic(r)
+		}
+		freeMat(A)
+		freeMat(B)
+		freeMat(C)
+	}()
 
 	var rep *recmat.Report
 	cached := false
 	if req.AName != "" && lay != recmat.ColMajor && s.cfg.PlanCacheBytes > 0 {
 		var ent *planEntry
 		ent, err = s.plans.acquire(planKey(req, lay), func() (*recmat.Plan, error) {
-			A := recmat.Random(req.M, req.K, rand.New(rand.NewSource(req.ASeed)))
+			pa := seededMat(req.M, req.K, req.ASeed)
 			popts := *opts
 			popts.PartnerDim = partnerBucket(req.N)
-			return s.eng.Prepack(A, false, &popts)
+			p, perr := s.eng.Prepack(pa, false, &popts)
+			if perr == nil {
+				freeMat(pa) // the plan holds its own packed copy
+			}
+			return p, perr
 		})
 		if err != nil {
 			return nil, err
@@ -470,7 +515,7 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 		defer pb.Release()
 		rep, err = s.eng.GEMMPrepackedOpts(ctx, opts, req.alpha(), ent.Plan(), pb, req.Beta, C)
 	} else {
-		A := recmat.Random(req.M, req.K, rand.New(rand.NewSource(req.ASeed)))
+		A = seededMat(req.M, req.K, req.ASeed)
 		rep, err = s.eng.DGEMMContext(ctx, false, false, req.alpha(), A, B, req.Beta, C, opts)
 	}
 	if err != nil {
@@ -496,20 +541,26 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 	return resp, nil
 }
 
-// norm1 is the entrywise 1-norm of a column-major matrix.
+// norm1 is the entrywise 1-norm of a column-major matrix. Four
+// accumulators break the single add chain's latency dependence —
+// this runs once per response, which at saturation is often enough
+// to show up in profiles.
 func norm1(m *recmat.Matrix) float64 {
-	var s float64
+	var s0, s1, s2, s3 float64
 	for j := 0; j < m.Cols; j++ {
 		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
-		for _, v := range col {
-			if v < 0 {
-				s -= v
-			} else {
-				s += v
-			}
+		i := 0
+		for ; i+4 <= len(col); i += 4 {
+			s0 += math.Abs(col[i])
+			s1 += math.Abs(col[i+1])
+			s2 += math.Abs(col[i+2])
+			s3 += math.Abs(col[i+3])
+		}
+		for ; i < len(col); i++ {
+			s0 += math.Abs(col[i])
 		}
 	}
-	return s
+	return (s0 + s1) + (s2 + s3)
 }
 
 // classify maps an error to its wire kind, HTTP status, and retry hint

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -110,9 +109,9 @@ func TestGEMMCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	A := recmat.Random(req.M, req.K, rand.New(rand.NewSource(req.ASeed)))
-	B := recmat.Random(req.K, req.N, rand.New(rand.NewSource(req.BSeed)))
-	C := recmat.Random(req.M, req.N, rand.New(rand.NewSource(req.CSeed)))
+	A := recmat.RandomSeeded(req.M, req.K, req.ASeed)
+	B := recmat.RandomSeeded(req.K, req.N, req.BSeed)
+	C := recmat.RandomSeeded(req.M, req.N, req.CSeed)
 	want := make([]float64, 0, req.M*req.N)
 	var norm float64
 	for j := 0; j < req.N; j++ {

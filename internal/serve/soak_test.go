@@ -92,6 +92,8 @@ func TestChaosSoak(t *testing.T) {
 		MaxDim:      128,
 		DeadlineMS:  4000,
 		Seed:        7,
+		Workload:    os.Getenv("RECMAT_SOAK_WORKLOAD"), // "batch" soaks the coalescing path
+
 		OnResult: func(r Result) {
 			if r.Err != nil || r.Resp == nil {
 				return

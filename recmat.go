@@ -58,6 +58,16 @@ func FromSlice(data []float64, m, n, ld int) *Matrix { return matrix.FromSlice(d
 // Random returns an m×n matrix with entries uniform in [-1, 1).
 func Random(m, n int, rng *rand.Rand) *Matrix { return matrix.Random(m, n, rng) }
 
+// RandomSeeded returns an m×n matrix deterministically generated from
+// seed by a splitmix64 stream — constant-time seeding, so it is the
+// cheap way to materialize operands named by a seed (the serving
+// layer's request contract).
+func RandomSeeded(m, n int, seed int64) *Matrix { return matrix.RandomSeeded(m, n, seed) }
+
+// SeedFill fills dst with RandomSeeded's value stream for seed — for
+// callers materializing seeded operands into recycled buffers.
+func SeedFill(dst []float64, seed int64) { matrix.SeedFill(dst, seed) }
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Matrix { return matrix.Identity(n) }
 
