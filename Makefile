@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race stress soak bench bench-kernel fuzz bench-json obs-gate trace-smoke asm-check
+.PHONY: check build vet test race stress soak bench bench-kernel fuzz bench-json obs-gate trace-smoke asm-check algtable-check
 
-check: build vet race stress soak obs-gate trace-smoke asm-check
+check: build vet race stress soak obs-gate trace-smoke asm-check algtable-check
+
+# The algorithm-table gate: every registered bilinear <m,k,n>
+# coefficient table must satisfy the Brent equations in exact integer
+# arithmetic — the proof that the table computes matrix product, run
+# against all mk*kn*mn equations per table (see internal/core/table.go).
+algtable-check:
+	$(GO) test -run 'TestAlgTables' -count=1 -v ./internal/core
 
 # The assembly hygiene gate. vet's asmdecl checker cross-validates every
 # .s frame layout against its Go declaration; the noasm build and test
@@ -67,7 +74,7 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/recmat_trace.json
 
 # The perf-regression gate: re-measure the standard algorithm and
-# compare against the committed BENCH_8.json record. Individual points
+# compare against the committed BENCH_9.json record. Individual points
 # on a shared/bursty host swing ±30% between identical-code runs, so
 # the gate aggregates rather than failing per point: it fails when the
 # geometric-mean GFLOPS ratio regresses >10%, any single point
@@ -86,8 +93,8 @@ trace-smoke:
 # better off raw; keep rescaling for cross-host diffs. A failure still
 # warrants one re-run before treating it as a real regression.
 bench:
-	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard
-	$(GO) run ./cmd/benchdiff -baseline BENCH_8.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15 -batchmin 1.2
+	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard -shapes ''
+	$(GO) run ./cmd/benchdiff -baseline BENCH_9.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15 -batchmin 1.2
 
 # The kernel acceptance benchmark: every registered kernel — packed
 # pure-Go tiers and whatever assembly kernels the host unlocked —
@@ -101,4 +108,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_8.json -reps 4
+	$(GO) run ./cmd/benchjson -o BENCH_9.json -reps 4

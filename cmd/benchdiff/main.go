@@ -6,10 +6,12 @@
 //
 //	benchdiff -baseline BENCH_8.json -candidate /tmp/bench_head.json [-alg standard] [-tol 0.10]
 //
-// Results are keyed on (n, mode, algorithm, layout, kernel); only keys
-// present in both files are compared (records from schema ≤2 files have
-// no mode and compare against mode-less candidates). With -alg set, the
-// comparison is restricted to that algorithm. All schemas 1–7 load: the
+// Results are keyed on (n, m, k, mode, algorithm, layout, kernel) —
+// m and k are zero on square records, so every pre-schema-8 key is
+// unchanged; only keys present in both files are compared (records from
+// schema ≤2 files have no mode and compare against mode-less
+// candidates). With -alg set, the
+// comparison is restricted to that algorithm. All schemas 1–8 load: the
 // decoder ignores fields a schema lacks, per-schema gates arm only when
 // both files carry the data, and schema 5's cpu_features is metadata
 // only — kernels present in just one file (e.g. an assembly kernel the
@@ -51,7 +53,13 @@
 //     change that starves workers without (yet) moving the GFLOPS mean.
 //     This gate only arms when BOTH files are schema ≥4 (where the
 //     field exists and is populated); against an older baseline it is
-//     silently inactive, so schema 1–3 files keep comparing cleanly.
+//     silently inactive, so schema 1–3 files keep comparing cleanly, or
+//   - the candidate's table-driven ⟨2,2,2⟩ Winograd (algorithm
+//     "winograd-2x2x2" in the schema-8 alg-shape sweep) falls more than
+//     -tablemax below the hand-coded "winograd" at the same shape. Both
+//     records share the candidate's measurement window, so this ratio
+//     is host-drift-free; it bounds the generic table engine's overhead
+//     against the hand-tuned recursion it generalizes (0 disables).
 //
 // Points beyond -tol are still marked "!" in the listing for
 // investigation even when the aggregate gate passes.
@@ -77,7 +85,11 @@ import (
 )
 
 type result struct {
-	N         int     `json:"n"`
+	N int `json:"n"`
+	// M and K complete a rectangular record's shape (schema 8); they
+	// are zero on square records, keeping older keys unchanged.
+	M         int     `json:"m"`
+	K         int     `json:"k"`
 	Mode      string  `json:"mode"`
 	Algorithm string  `json:"algorithm"`
 	Layout    string  `json:"layout"`
@@ -107,7 +119,7 @@ type output struct {
 }
 
 type key struct {
-	n                               int
+	n, m, k                         int
 	mode, algorithm, layout, kernel string
 }
 
@@ -133,7 +145,7 @@ func load(path string) (map[key]point, float64, int, error) {
 	}
 	m := make(map[key]point, len(o.Results))
 	for _, r := range o.Results {
-		m[key{r.N, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{
+		m[key{r.N, r.M, r.K, r.Mode, r.Algorithm, r.Layout, r.Kernel}] = point{
 			r.GFLOPS, r.ConvertShare, r.WorkerUtilization,
 			r.P50Seconds, r.P99Seconds, r.QPS, r.ShedRate,
 			r.BatchSize, r.PerItemSeconds, r.CoalesceRate,
@@ -152,6 +164,7 @@ func main() {
 	serveMin := flag.Float64("servemin", 1.15, "required serve-prepacked / serve-percall speedup within the candidate (0 disables)")
 	batchMin := flag.Float64("batchmin", 1.2, "required batch-engine / batch-looped speedup within the candidate (0 disables)")
 	utilTol := flag.Float64("utiltol", 0.20, "allowed absolute drop in worker utilization (needs schema >=4 on both sides; 0 disables)")
+	tableMax := flag.Float64("tablemax", 0.03, "allowed fractional shortfall of table-driven winograd-2x2x2 vs hand-coded winograd within the candidate's alg-shape sweep (0 disables)")
 	noscale := flag.Bool("noscale", false, "disable host-yardstick rescaling")
 	flag.Parse()
 	if *candidate == "" {
@@ -213,8 +226,12 @@ func main() {
 		if mode == "" {
 			mode = "percall"
 		}
-		fmt.Printf("%s n=%-5d %-15s %-9s %-11s %-10s %6.2f -> %6.2f GFLOPS (%+5.1f%%)%s\n",
-			mark, k.n, mode, k.algorithm, k.layout, k.kernel, bp.gflops, cg, 100*(ratio-1), convNote)
+		dims := fmt.Sprintf("n=%-5d", k.n)
+		if k.m != 0 || k.k != 0 {
+			dims = fmt.Sprintf("%dx%dx%d", k.m, k.k, k.n)
+		}
+		fmt.Printf("%s %-14s %-15s %-9s %-11s %-10s %6.2f -> %6.2f GFLOPS (%+5.1f%%)%s\n",
+			mark, dims, mode, k.algorithm, k.layout, k.kernel, bp.gflops, cg, 100*(ratio-1), convNote)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no comparable results (key mismatch?)")
@@ -277,6 +294,33 @@ func main() {
 			if speedup < *batchMin {
 				failed++
 				fmt.Fprintf(os.Stderr, "benchdiff: %s speedup %.2fx at n=%d below floor %.2fx\n", k.mode, speedup, k.n, *batchMin)
+			}
+		}
+	}
+
+	// Table-engine overhead gate (schema 8): within the candidate's
+	// alg-shape sweep, the table-driven ⟨2,2,2⟩ Winograd runs the same
+	// recursion as the hand-coded winograd through the generic engine,
+	// so their ratio isolates the engine's constant-factor overhead in
+	// one measurement window. It must stay within -tablemax.
+	if *tableMax > 0 {
+		for k, tw := range cand {
+			if k.mode != "alg-shape" || k.algorithm != "winograd-2x2x2" {
+				continue
+			}
+			hwKey := k
+			hwKey.algorithm = "winograd"
+			hw, ok := cand[hwKey]
+			if !ok || hw.gflops <= 0 {
+				continue
+			}
+			ratio := tw.gflops / hw.gflops
+			fmt.Printf("  %dx%dx%d table winograd-2x2x2 vs hand-coded: %.3fx (floor %.3fx)\n",
+				k.m, k.k, k.n, ratio, 1-*tableMax)
+			if ratio < 1-*tableMax {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchdiff: table winograd %.1f%% below hand-coded at %dx%dx%d (allowed %.0f%%)\n",
+					100*(1-ratio), k.m, k.k, k.n, 100**tableMax)
 			}
 		}
 	}

@@ -1,11 +1,12 @@
 // benchjson measures end-to-end GFLOPS for every {algorithm, layout,
 // kernel} combination at fixed problem sizes and writes the results as
 // JSON — the machine-readable record of the repo's performance
-// trajectory (BENCH_7.json at the repo root is its committed output).
+// trajectory (BENCH_9.json at the repo root is its committed output).
 //
 // Usage:
 //
-//	benchjson [-o BENCH_7.json] [-sizes 512,1024] [-reps 2]
+//	benchjson [-o BENCH_9.json] [-sizes 512,1024] [-reps 2]
+//	          [-shapes 1024x1024x1024,1296x864x1296,...]
 //	          [-algs standard,strassen,winograd] [-kernels unrolled4,...,auto]
 //	          [-serve-b 48] [-serve-layout hilbert] [-serve-daemon 3s]
 //
@@ -60,6 +61,16 @@
 // coalescing workload — every request naming one of two fixed operands
 // in a recursive layout — so the QPS the daemon's request coalescer
 // buys under saturation is on the committed record.
+//
+// Schema 8 adds the algorithm-family shape sweep (mode "alg-shape"):
+// rectangular m×k×n problems (-shapes) on the canonical layout across
+// the fast-algorithm family — the hand-coded Winograd, the table-driven
+// ⟨2,2,2⟩ forms, the rectangular ⟨m,k,n⟩ tables, and "auto" — so the
+// committed record shows where each table wins and what the per-shape
+// auto-selection actually picks. These records carry m and k alongside
+// n (square records leave them 0 ≡ n), GFLOPS from 2mkn, and
+// algorithm_ran, the algorithm that executed ("auto"'s resolution, or
+// the admission ladder's degradation).
 package main
 
 import (
@@ -82,6 +93,11 @@ import (
 
 type result struct {
 	N int `json:"n"`
+	// M and K complete the problem shape for rectangular records
+	// (schema 8, mode "alg-shape"); zero means "same as n", so every
+	// square record keeps its schema ≤7 form.
+	M int `json:"m,omitempty"`
+	K int `json:"k,omitempty"`
 	// Mode distinguishes the sweeps: "" is the square per-call GEMM
 	// sweep (schema ≤2 compatible); "serve-percall" and
 	// "serve-prepacked" are the serving-shape records, whose GFLOPS come
@@ -92,7 +108,11 @@ type result struct {
 	Kernel    string `json:"kernel"`
 	// KernelRan is the kernel that actually executed; it differs from
 	// Kernel only for "auto", where it names the calibration winner.
-	KernelRan     string  `json:"kernel_ran"`
+	KernelRan string `json:"kernel_ran"`
+	// AlgorithmRan is the algorithm that actually executed (schema 8):
+	// the per-shape resolution for "auto", or the admission ladder's
+	// pick when a degradation moved the call off the request.
+	AlgorithmRan  string  `json:"algorithm_ran,omitempty"`
 	TotalSeconds  float64 `json:"total_seconds"`
 	GFLOPS        float64 `json:"gflops"`
 	ComputeGFLOPS float64 `json:"compute_gflops"`
@@ -142,6 +162,7 @@ type result struct {
 // fill copies a Report's telemetry into the record.
 func (r *result) fill(rep *recmat.Report, flops float64) {
 	r.KernelRan = rep.Kernel
+	r.AlgorithmRan = rep.Alg.String()
 	r.TotalSeconds = rep.Total().Seconds()
 	r.GFLOPS = flops / rep.Total().Seconds() / 1e9
 	r.ComputeGFLOPS = flops / rep.Compute.Seconds() / 1e9
@@ -219,9 +240,15 @@ func main() {
 	// registered, then "auto" to record what the autotuner picks.
 	defaultKernels := append([]string{"unrolled4", "blocked", "packed8x4"}, recmat.SIMDKernels()...)
 	defaultKernels = append(defaultKernels, "auto")
-	out := flag.String("o", "BENCH_8.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_9.json", "output file (- for stdout)")
 	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
-	algsFlag := flag.String("algs", "standard,strassen,winograd", "comma-separated algorithms")
+	algsFlag := flag.String("algs", "standard,strassen,winograd",
+		"comma-separated algorithms for the square sweep (from: "+strings.Join(recmat.AlgorithmNames(), ",")+")")
+	shapesFlag := flag.String("shapes", "1024x1024x1024,1296x864x1296,1536x512x1536",
+		"comma-separated mXkXn shapes for the algorithm-family sweep (empty disables)")
+	shapeAlgsFlag := flag.String("shape-algs",
+		"winograd,winograd-2x2x2,strassen-2x2x2,fast-3x2x3,fast-4x2x4,laderman-3x3x3,auto",
+		"comma-separated algorithms for the -shapes sweep")
 	kernelsFlag := flag.String("kernels", strings.Join(defaultKernels, ","), "comma-separated kernels (auto = autotuned)")
 	layoutsFlag := flag.String("layouts", "", "comma-separated layouts (default: all six)")
 	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
@@ -262,7 +289,7 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:      7,
+		Schema:      8,
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,
@@ -322,6 +349,66 @@ func main() {
 					fmt.Fprintf(os.Stderr, "n=%-5d %-9s %-11s %-10s %6.2f GFLOPS %8d allocs/op (ran %s)\n",
 						n, r.Algorithm, r.Layout, r.Kernel, r.GFLOPS, r.AllocsPerOp, r.KernelRan)
 				}
+			}
+		}
+	}
+
+	// The algorithm-family shape sweep (schema 8) runs on the canonical
+	// layout: the rectangular ⟨m,k,n⟩ tables need its free mixed-radix
+	// tile grids — on the recursive curves' power-of-two grids they hand
+	// straight off to their base and measure nothing new.
+	if *shapesFlag != "" {
+		var salgs []recmat.Algorithm
+		for _, s := range splitList(*shapeAlgsFlag) {
+			a, err := recmat.ParseAlgorithm(s)
+			die(err)
+			salgs = append(salgs, a)
+		}
+		for _, spec := range splitList(*shapesFlag) {
+			m, k, n, err := parseShape(spec)
+			die(err)
+			rng := rand.New(rand.NewSource(*seed))
+			A := recmat.Random(m, k, rng)
+			B := recmat.Random(k, n, rng)
+			C := recmat.NewMatrix(m, n)
+			flops := 2 * float64(m) * float64(k) * float64(n)
+			// Reps interleave round-robin across the shape's algorithms
+			// rather than running each algorithm's reps back to back:
+			// benchdiff's within-record ratio gates (table Winograd vs
+			// hand-coded) compare algorithms of one shape, and on a
+			// bursty host a minutes-long drift between two sequential
+			// measurement windows would dominate the few percent those
+			// gates resolve. Interleaving gives every algorithm the same
+			// exposure to the drift.
+			best := make([]*recmat.Report, len(salgs))
+			bestAllocs := make([]uint64, len(salgs))
+			bestBytes := make([]uint64, len(salgs))
+			var ms0, ms1 runtime.MemStats
+			for r := 0; r < *reps+1; r++ { // +1: first round is warmup
+				for i, alg := range salgs {
+					opts := &recmat.Options{Layout: recmat.ColMajor, Algorithm: alg}
+					runtime.ReadMemStats(&ms0)
+					rep, err := eng.Mul(C, A, B, opts)
+					runtime.ReadMemStats(&ms1)
+					die(err)
+					if r == 0 {
+						continue
+					}
+					if best[i] == nil || rep.Total() < best[i].Total() {
+						best[i] = rep
+						bestAllocs[i] = ms1.Mallocs - ms0.Mallocs
+						bestBytes[i] = ms1.TotalAlloc - ms0.TotalAlloc
+					}
+				}
+			}
+			for i, alg := range salgs {
+				r := result{N: n, M: m, K: k, Mode: "alg-shape",
+					Algorithm: alg.String(), Layout: recmat.ColMajor.String(), Kernel: "auto",
+					AllocsPerOp: bestAllocs[i], AllocBytesPerOp: bestBytes[i]}
+				r.fill(best[i], flops)
+				o.Results = append(o.Results, r)
+				fmt.Fprintf(os.Stderr, "%dx%dx%d %-16s %6.2f GFLOPS (ran %s/%s)\n",
+					m, k, n, r.Algorithm, r.GFLOPS, r.AlgorithmRan, r.KernelRan)
 			}
 		}
 	}
@@ -706,6 +793,23 @@ func splitList(s string) []string {
 		}
 	}
 	return parts
+}
+
+// parseShape parses an "mXkXn" problem shape ("1296x864x1296").
+func parseShape(s string) (m, k, n int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad shape %q: want mXkXn", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad shape %q: %q is not a positive integer", s, p)
+		}
+		dims[i] = v
+	}
+	return dims[0], dims[1], dims[2], nil
 }
 
 func parseInts(s string) ([]int, error) {

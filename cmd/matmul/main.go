@@ -29,7 +29,8 @@ func main() {
 	m := flag.Int("m", 1000, "rows of op(A) and C")
 	k := flag.Int("k", 0, "inner dimension (default: m)")
 	n := flag.Int("n", 0, "columns of op(B) and C (default: m)")
-	algName := flag.String("alg", "standard", "algorithm: standard|standard8|strassen|winograd")
+	algName := flag.String("alg", "standard",
+		"algorithm: "+strings.Join(recmat.AlgorithmNames(), "|"))
 	layoutName := flag.String("layout", "z", "layout: c|u|x|z|g|h")
 	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
 	kernelName := flag.String("kernel", "auto",

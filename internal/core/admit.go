@@ -42,6 +42,13 @@ func ladderFor(a Alg) []rung {
 		// the temporary-free standard recursion.
 		return []rung{{StrassenLowMem, true}, {Standard, true}}
 	default:
+		if tableOf(a) != nil {
+			// Table-driven algorithms degrade like the hand-coded fast
+			// pair. (On a mixed-radix table grid only the first rung can
+			// run; the driver reverts to the square geometry before
+			// accepting a lower one.)
+			return []rung{{a, false}, {StrassenLowMem, true}, {Standard, false}, {Standard, true}}
+		}
 		return []rung{{Standard, false}, {Standard, true}}
 	}
 }
@@ -74,7 +81,7 @@ func estimateBytes(alg Alg, workers, mp, kp, np, tm, tk, tn, fastCutoff int, ser
 	if serial {
 		stacks = 1
 	}
-	temps := arenaStackElems(alg, mp/tm, tm, tk, tn, fastCutoff) * stacks
+	temps := arenaStackElems(alg, mp/tm, kp/tk, np/tn, tm, tk, tn, fastCutoff) * stacks
 	w := int64(workers)
 	if serial {
 		w = 1
@@ -178,8 +185,13 @@ func serialTag(serial bool) string {
 }
 
 // isFastAlg reports whether alg trades numerical stability for flops
-// (the Strassen-like algorithms Benson & Ballard analyze).
+// (the Strassen-like algorithms Benson & Ballard analyze): the
+// hand-coded fast pair, their low-memory variant, and every table with
+// rank below its partition volume.
 func isFastAlg(a Alg) bool {
+	if tb := tableOf(a); tb != nil {
+		return tb.R < tb.M*tb.K*tb.N
+	}
 	return a == Strassen || a == Winograd || a == StrassenLowMem
 }
 
@@ -198,12 +210,24 @@ const probeSize = 32
 // growth shows up as values of 10–100+. Returns 0 (never degrade) when
 // the probe is degenerate (zero operands).
 func probeResidualGrowth(e *exec, alg Alg, transA, transB bool, Av, Bv *matrix.Dense) float64 {
+	// Probe grids: 4×4×4 quadrant recursion for the square algorithms,
+	// ⟨2M,2K,2N⟩ for a rectangular table — one table level over the
+	// square handoff, so the table's own products produce part of the
+	// measured error. Tile sizes fill probeSize as far as the grid
+	// divides it; the probe region shrinks to the grid-aligned extent
+	// and the rest of the probeSize square stays zero on both sides of
+	// the comparison.
+	gm, gk, gn := 4, 4, 4
+	if tb := tableOf(alg); tb != nil && !(tb.M == 2 && tb.K == 2 && tb.N == 2) {
+		gm, gk, gn = 2*tb.M, 2*tb.K, 2*tb.N
+	}
+	tm, tk, tn := probeSize/gm, probeSize/gk, probeSize/gn
 	pm, pk := opShape(Av, transA)
 	pk2, pn := opShape(Bv, transB)
 	if pk2 < pk {
 		pk = pk2
 	}
-	pm, pk, pn = minInt(pm, probeSize), minInt(pk, probeSize), minInt(pn, probeSize)
+	pm, pk, pn = minInt(pm, gm*tm), minInt(pk, gk*tk), minInt(pn, gn*tn)
 	pa, amax := sampleProbe(Av, transA, pm, pk)
 	pb, bmax := sampleProbe(Bv, transB, pk, pn)
 	scale := 2.220446049250313e-16 * float64(pk) * amax * bmax
@@ -212,15 +236,19 @@ func probeResidualGrowth(e *exec, alg Alg, transA, transB bool, Av, Bv *matrix.D
 	}
 	fast := matrix.New(probeSize, probeSize)
 	ref := matrix.New(probeSize, probeSize)
-	mk := func(x *matrix.Dense) Mat {
-		return Mat{data: x.Data, tiles: 4, tr: probeSize / 4, tc: probeSize / 4,
+	mk := func(x *matrix.Dense, gr, gc, tr, tc int) Mat {
+		mt := Mat{data: x.Data, tiles: gr, tr: tr, tc: tc,
 			ld: x.Stride, curve: layout.ColMajor}
+		if gc != gr {
+			mt.tilesc = gc
+		}
+		return mt
 	}
 	// Serial execution on an unbound Ctx: the recursion never spawns
 	// (serialCutoff ≥ tiles) so no pool is needed, and the probe runs
 	// with the same leaf kernel the real multiplication will use.
 	pe := &exec{kern: e.kern, skern: e.skern, serialCutoff: 1 << 30, fastCutoff: 1}
-	pe.mul(&sched.Ctx{}, alg, mk(fast), mk(pa), mk(pb))
+	pe.mul(&sched.Ctx{}, alg, mk(fast, gm, gn, tm, tn), mk(pa, gm, gk, tm, tk), mk(pb, gk, gn, tk, tn))
 	matrix.RefGEMM(false, false, 1, pa, pb, 0, ref)
 	return matrix.MaxAbsDiff(fast, ref) / scale
 }

@@ -49,20 +49,54 @@ func (a Alg) String() string {
 	if int(a) < len(algNames) {
 		return algNames[a]
 	}
+	if tb := tableOf(a); tb != nil {
+		return tb.Name
+	}
+	if a == AlgAuto {
+		return "auto"
+	}
 	return fmt.Sprintf("Alg(%d)", uint8(a))
 }
 
-// Algs lists the algorithms in paper order.
-var Algs = []Alg{Standard, Standard8, Strassen, Winograd, StrassenLowMem}
+// Algs lists the algorithms in paper order, followed by the
+// table-driven ⟨m,k,n⟩ family in registration order. Command-line
+// tools derive their -alg help text from it (via AlgNames), so a newly
+// registered table shows up everywhere without touching the tools.
+var Algs = append([]Alg{Standard, Standard8, Strassen, Winograd, StrassenLowMem}, tableAlgs...)
 
-// ParseAlg resolves an algorithm name.
+// AlgNames returns the accepted algorithm names in Algs order plus
+// "auto" — the single source for every CLI's -alg enumeration.
+func AlgNames() []string {
+	names := make([]string, len(Algs), len(Algs)+1)
+	for i, a := range Algs {
+		names[i] = a.String()
+	}
+	return append(names, "auto")
+}
+
+// ParseAlg resolves an algorithm name; "auto" selects per-shape
+// auto-selection (AlgAuto).
 func ParseAlg(s string) (Alg, error) {
-	for i, n := range algNames {
-		if s == n {
-			return Alg(i), nil
+	if s == "auto" {
+		return AlgAuto, nil
+	}
+	for _, a := range Algs {
+		if s == a.String() {
+			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+	return 0, fmt.Errorf("core: unknown algorithm %q (valid: %s)", s, joinNames())
+}
+
+func joinNames() string {
+	out := ""
+	for i, n := range AlgNames() {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
 }
 
 // exec carries the per-call execution parameters through the recursion.
@@ -230,6 +264,10 @@ func (e *exec) mul(c *sched.Ctx, alg Alg, C, A, B Mat) {
 	case StrassenLowMem:
 		e.strassenLowMem(c, C, A, B)
 	default:
+		if tb := tableOf(alg); tb != nil {
+			e.tableMul(c, tb, C, A, B)
+			return
+		}
 		panic("core: invalid algorithm")
 	}
 }

@@ -146,10 +146,11 @@ func (e *exec) newTemp(c *sched.Ctx, proto Mat) Mat {
 }
 
 // arenaStackElems returns the number of scratch elements one worker's
-// depth-first path through alg needs, descending from tiles per side
-// down to the leaves: Σ_levels own(t), where own(t) is the storage the
-// algorithm allocates at a level with t tiles per side (quadrant
-// operands are (t/2)² tiles). The per-algorithm terms:
+// depth-first path through alg needs, descending from a gm×gk×gn tile
+// grid (equal extents for the quadrant-based algorithms) down to the
+// leaves: Σ_levels own(level), where own is the storage the algorithm
+// allocates at that level (quadrant operands are (t/2)² tiles). The
+// per-algorithm terms:
 //
 //   - Standard: no temporaries.
 //   - Standard8: 8 quadrant products.
@@ -158,18 +159,26 @@ func (e *exec) newTemp(c *sched.Ctx, proto Mat) Mat {
 //   - Winograd: 4+4 pre-addition operands, 7 products plus the shared
 //     U2 accumulator (U6 reuses P4's storage).
 //   - StrassenLowMem: one reused S-, T-, and P-shaped scratch.
+//   - Table-driven ⟨m,k,n⟩: the BFS bound per table level — preA
+//     A-shaped + preB B-shaped operands, R products, and the
+//     evaluation schedule's aux blocks (the DFS levels use strictly
+//     fewer per-product temps) — then the base algorithm's series
+//     below the square power-of-two handoff.
 //
 // The fast algorithms stop allocating below fastCutoff, where they
 // hand off to the temporary-free standard recursion. This function is
 // the single source of truth for both the admission estimate and the
 // arena reservation, so the MemBudget ladder accounts the arena up
 // front — one reservation, not per-level guesses.
-func arenaStackElems(alg Alg, tiles, tm, tk, tn, fastCutoff int) int64 {
+func arenaStackElems(alg Alg, gm, gk, gn, tm, tk, tn, fastCutoff int) int64 {
 	if fastCutoff < 1 {
 		fastCutoff = 1
 	}
+	if tb := tableOf(alg); tb != nil {
+		return tableArenaElems(tb, gm, gk, gn, tm, tk, tn, fastCutoff)
+	}
 	var need int64
-	for t := tiles; t > 1; t /= 2 {
+	for t := gm; t > 1; t /= 2 {
 		q := int64(t/2) * int64(t/2)
 		qa := q * int64(tm) * int64(tk)
 		qb := q * int64(tk) * int64(tn)
@@ -199,6 +208,40 @@ func arenaStackElems(alg Alg, tiles, tm, tk, tn, fastCutoff int) int64 {
 	return need
 }
 
+// tableArenaElems walks the same level structure tableMul executes —
+// table divisions while the grid divides by ⟨M,K,N⟩, then the base
+// algorithm on the remaining square power-of-two grid — charging each
+// table level its BFS maximum.
+func tableArenaElems(tb *Table, gm, gk, gn, tm, tk, tn, fastCutoff int) int64 {
+	var need int64
+	for {
+		if gm == 1 && gk == 1 && gn == 1 {
+			return need
+		}
+		if tb.M == 2 && tb.K == 2 && tb.N == 2 {
+			if gm <= fastCutoff {
+				return need
+			}
+		} else {
+			if gm == gk && gk == gn && gm&(gm-1) == 0 {
+				return need + arenaStackElems(tb.Base, gm, gk, gn, tm, tk, tn, fastCutoff)
+			}
+			if gm%tb.M != 0 || gk%tb.K != 0 || gn%tb.N != 0 {
+				return need // tableMul panics here; nothing more allocates
+			}
+		}
+		gm, gk, gn = gm/tb.M, gk/tb.K, gn/tb.N
+		qa := int64(gm) * int64(gk) * int64(tm) * int64(tk)
+		qb := int64(gk) * int64(gn) * int64(tk) * int64(tn)
+		qc := int64(gm) * int64(gn) * int64(tm) * int64(tn)
+		// Schedule aux blocks live for the whole level on both the BFS
+		// and DFS paths, on top of the per-product operands/products.
+		need += int64(tb.preA+len(tb.AuxU))*qa +
+			int64(tb.preB+len(tb.AuxV))*qb +
+			int64(tb.R+len(tb.AuxW))*qc
+	}
+}
+
 // arenaPool recycles arena buffers across runs. Checked-out arenas keep
 // their (monotonically grown) buffer, so steady-state repeated
 // multiplications of the same shape reuse one allocation.
@@ -217,8 +260,8 @@ const maxArenaElems = int64(1) << 33
 // serial run has exactly one live task, so every frame maps to stack
 // 0). Returns nil when the algorithm needs no temporaries or the
 // reservation would be absurd; the run then heap-allocates as before.
-func acquireArena(alg Alg, tiles, tm, tk, tn, fastCutoff, stacks int) *arena {
-	return acquireArenaElems(arenaStackElems(alg, tiles, tm, tk, tn, fastCutoff), stacks)
+func acquireArena(alg Alg, gm, gk, gn, tm, tk, tn, fastCutoff, stacks int) *arena {
+	return acquireArenaElems(arenaStackElems(alg, gm, gk, gn, tm, tk, tn, fastCutoff), stacks)
 }
 
 // acquireArenaElems reserves stacks × per elements directly — the form

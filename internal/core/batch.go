@@ -376,7 +376,7 @@ func GEMMBatch(ctx context.Context, pool *sched.Pool, opts Options, items []Batc
 				continue
 			}
 			g := geoms[i]
-			if v := arenaStackElems(alg, 1<<g.d, g.tm, g.tk, g.tn, o.FastCutoff); v > per {
+			if v := arenaStackElems(alg, 1<<g.d, 1<<g.d, 1<<g.d, g.tm, g.tk, g.tn, o.FastCutoff); v > per {
 				per = v
 			}
 		}
@@ -390,6 +390,11 @@ func GEMMBatch(ctx context.Context, pool *sched.Pool, opts Options, items []Batc
 		if s := g.tm*g.tk + g.tk*g.tn; s > scratchPer {
 			scratchPer = s
 		}
+	}
+	if o.Alg == AlgAuto {
+		// The wave shares one algorithm (mixed waves would defeat the
+		// arena sizing); resolve from the largest member's padded shape.
+		o.Alg = selectAlg(o, maxG.tm<<maxG.d, maxG.tk<<maxG.d, maxG.tn<<maxG.d)
 	}
 	alg, serial, est, notes, err := admitWave(o, pool.Workers(), live, perPacked, scratchPer, arenaPer)
 	if err != nil {
@@ -680,7 +685,12 @@ func GEMMPrepackedBatch(ctx context.Context, pool *sched.Pool, opts Options, pa 
 		return nil, nil, err
 	}
 	arenaPer := func(alg Alg) int64 {
-		return arenaStackElems(alg, 1<<d, tm, tk, maxTn, o.FastCutoff)
+		return arenaStackElems(alg, 1<<d, 1<<d, 1<<d, tm, tk, maxTn, o.FastCutoff)
+	}
+	if o.Alg == AlgAuto {
+		sel := o
+		sel.Curve = pa.Curve
+		o.Alg = selectAlg(sel, pa.Rows, pa.Cols, maxTn<<d)
 	}
 	alg, serial, est, notes, err := admitWave(o, pool.Workers(), live, perPacked, tm*tk+tk*maxTn, arenaPer)
 	if err != nil {

@@ -26,11 +26,12 @@ func TestGEMMBatchMatchesSingleCalls(t *testing.T) {
 	// test tile's α=4): the batch path multiplies each item as a single
 	// block, so only unsplit shapes are bit-exact against GEMMCtx.
 	shapes := [][3]int{{40, 24, 56}, {64, 64, 64}, {64, 48, 17}}
+	algs := []Alg{Standard, TableWinograd222}
 	for _, cv := range layout.RecursiveCurves {
 		for _, ta := range []bool{false, true} {
 			for _, tb := range []bool{false, true} {
-				for _, beta := range []float64{0, 1, 0.5} {
-					opts := Options{Curve: cv, Alg: Standard, Tile: testTile}
+				for bi, beta := range []float64{0, 1, 0.5} {
+					opts := Options{Curve: cv, Alg: algs[bi%len(algs)], Tile: testTile}
 					items := make([]BatchItem, len(shapes))
 					want := make([]*matrix.Dense, len(shapes))
 					for i, s := range shapes {

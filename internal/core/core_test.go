@@ -372,7 +372,16 @@ func TestWorkSpanAnalyticMatchesAccounted(t *testing.T) {
 		if math.Abs(st.Work-w) > 1e-6*w {
 			t.Errorf("%v: accounted work %g, analytic %g", alg, st.Work, w)
 		}
-		if math.Abs(st.Span-s) > 1e-6*s {
+		if tableOf(alg) != nil {
+			// The table engine chooses BFS or DFS per level from live
+			// worker occupancy, so the accounted span is only bounded
+			// by the fully-parallel analytic span below and the serial
+			// work above.
+			if st.Span < s*(1-1e-6) || st.Span > st.Work*(1+1e-6) {
+				t.Errorf("%v: accounted span %g outside [analytic %g, work %g]",
+					alg, st.Span, s, st.Work)
+			}
+		} else if math.Abs(st.Span-s) > 1e-6*s {
 			t.Errorf("%v: accounted span %g, analytic %g", alg, st.Span, s)
 		}
 	}

@@ -240,7 +240,7 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	}
 	defer func() {
 		if tr != nil {
-			tr.LaneSpan(lane, obs.KindGEMM, t0, time.Since(t0), 0)
+			tr.LaneSpan(lane, obs.KindGEMM, t0, time.Since(t0), gemmSpanArg(stats))
 		}
 		recordCallMetrics(opts.Metrics, stats, err, time.Since(t0))
 	}()
@@ -301,6 +301,10 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	if k == 0 {
 		return &Stats{}, nil
 	}
+	// Per-shape auto-selection happens once per call, before splitting:
+	// the wide/lean segments share near-identical shapes, and the daemon
+	// keys its plan cache on the resolved algorithm.
+	o.Alg = selectAlg(o, m, k, n)
 
 	stats = &Stats{}
 	ms := []tile.Seg{{Off: 0, Len: m}}
@@ -410,30 +414,76 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	if transA {
 		k = Av.Rows
 	}
-	d, tm, tk, tn, err := choose(o, m, k, n)
-	if err != nil {
-		return err
+	// Geometry and admission run as one small fixed point: a rectangular
+	// table algorithm starts on its mixed-radix grid (when one fits the
+	// tile range), but any degradation off that algorithm — memory
+	// budget or residual probe — invalidates the grid, so the loop
+	// reverts to the square power-of-two geometry and re-admits there.
+	// At most three iterations: the table geometry can be given up once,
+	// and a fast algorithm can degrade to Standard once.
+	oa := o
+	useTG, tg := false, tableGeom{}
+	if tb := tableOf(oa.Alg); tb != nil && !(tb.M == 2 && tb.K == 2 && tb.N == 2) &&
+		o.Curve == layout.ColMajor && o.ForceTile == 0 {
+		tg, useTG = chooseTableGeom(tb, o.Tile, m, k, n)
 	}
-	mp, kp, np, err := paddedDims(d, tm, tk, tn)
-	if err != nil {
-		return err
-	}
-	kern, skern, kname, err := resolveKernel(o, tm, tk, tn)
-	if err != nil {
-		return err
-	}
-	alg, serial, est, notes, err := admit(o, pool.Workers(), mp, kp, np, tm, tk, tn, false)
-	if err != nil {
-		return err
-	}
-	e := &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin,
-		tr: tr, lane: lane}
-	if o.MaxResidualGrowth > 0 && isFastAlg(alg) {
-		if growth := probeResidualGrowth(e, alg, transA, transB, Av, Bv); growth > o.MaxResidualGrowth {
-			notes = append(notes, fmt.Sprintf("residual-probe: %v growth %.1f > bound %.1f; degraded to %v",
-				alg, growth, o.MaxResidualGrowth, Standard))
-			alg = Standard
+	var d uint
+	var gm, gk, gn, tm, tk, tn, mp, kp, np int
+	var alg Alg
+	var serial bool
+	var est int64
+	var notes []string
+	var kern leaf.Kernel
+	var skern leaf.ScratchKernel
+	var kname string
+	var e *exec
+	for {
+		if useTG {
+			d, gm, gk, gn, tm, tk, tn = tg.d, tg.gm, tg.gk, tg.gn, tg.tm, tg.tk, tg.tn
+			mp, kp, np = gm*tm, gk*tk, gn*tn
+		} else {
+			var err error
+			d, tm, tk, tn, err = choose(o, m, k, n)
+			if err != nil {
+				return err
+			}
+			gm, gk, gn = 1<<d, 1<<d, 1<<d
+			mp, kp, np, err = paddedDims(d, tm, tk, tn)
+			if err != nil {
+				return err
+			}
 		}
+		var err error
+		kern, skern, kname, err = resolveKernel(o, tm, tk, tn)
+		if err != nil {
+			return err
+		}
+		var anotes []string
+		alg, serial, est, anotes, err = admit(oa, pool.Workers(), mp, kp, np, tm, tk, tn, false)
+		notes = append(notes, anotes...)
+		if err != nil {
+			return err
+		}
+		if useTG && alg != oa.Alg {
+			// The budget pushed the ladder below the table algorithm; its
+			// mixed-radix grid can run nothing else. Retry the whole
+			// ladder on the square geometry, where every rung is valid.
+			notes = append(notes, fmt.Sprintf("table-geometry: %v does not fit on its %dx%dx%d grid; reverting to square geometry", oa.Alg, gm, gk, gn))
+			useTG = false
+			continue
+		}
+		e = &exec{kern: kern, skern: skern, serialCutoff: o.SerialCutoff, fastCutoff: o.FastCutoff, ewMin: ewParMin,
+			tr: tr, lane: lane}
+		if o.MaxResidualGrowth > 0 && isFastAlg(alg) && oa.Alg != Standard {
+			if growth := probeResidualGrowth(e, alg, transA, transB, Av, Bv); growth > o.MaxResidualGrowth {
+				notes = append(notes, fmt.Sprintf("residual-probe: %v growth %.1f > bound %.1f; degraded to %v",
+					alg, growth, o.MaxResidualGrowth, Standard))
+				oa.Alg = Standard
+				useTG = false
+				continue
+			}
+		}
+		break
 	}
 	if serial {
 		// Degraded-to-serial: stop all spawning so only one depth-first
@@ -449,7 +499,7 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 	if serial {
 		stacks = 1
 	}
-	ar := acquireArena(alg, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
+	ar := acquireArena(alg, gm, gk, gn, tm, tk, tn, e.fastCutoff, stacks)
 	defer releaseArena(ar)
 	e.ar = ar
 	if tr != nil {
@@ -474,8 +524,9 @@ func blockGEMM(ctx context.Context, pool *sched.Pool, o Options, stats *Stats, r
 		stats.ArenaBytes = ar.bytes()
 	}
 
+	var err error
 	if o.Curve == layout.ColMajor {
-		err = blockCanonical(ctx, pool, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
+		err = blockCanonical(ctx, pool, alg, e, stats, gm, gk, gn, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
 	} else {
 		err = blockRecursive(ctx, pool, o, alg, e, stats, d, tm, tk, tn, transA, transB, alpha, Av, Bv, Cv)
 	}
@@ -584,13 +635,15 @@ func blockRecursive(ctx context.Context, pool *sched.Pool, o Options, alg Alg, e
 }
 
 func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, stats *Stats,
-	d uint, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
+	gm, gk, gn, tm, tk, tn int, transA, transB bool, alpha float64, Av, Bv, Cv *matrix.Dense) error {
 
 	// Same fused-epilogue discipline as blockRecursive: recycled padded
 	// buffers, unscaled operand packs (packPadded overwrites every
 	// element, padding included, so dirty buffers are safe), a zero-filled
-	// C, and the α·accumulate folded into the unpack.
-	mp, kp, np := tm<<d, tk<<d, tn<<d
+	// C, and the α·accumulate folded into the unpack. The tile grid is
+	// square (gm = gk = gn = 2^d) for the quadrant algorithms and
+	// mixed-radix rectangular for the table-driven ⟨m,k,n⟩ family.
+	mp, kp, np := gm*tm, gk*tk, gn*tn
 	var ap, bp, cp *matrix.Dense
 	defer func() {
 		releasePadded(cp)
@@ -616,10 +669,14 @@ func blockCanonical(ctx context.Context, pool *sched.Pool, alg Alg, e *exec, sta
 	}
 	stats.ConvertBytes += 8 * int64(len(ap.Data)+len(bp.Data))
 
-	mk := func(x *matrix.Dense, tr, tc int) Mat {
-		return Mat{data: x.Data, tiles: 1 << d, tr: tr, tc: tc, ld: x.Stride, curve: layout.ColMajor}
+	mk := func(x *matrix.Dense, gr, gc, tr, tc int) Mat {
+		mt := Mat{data: x.Data, tiles: gr, tr: tr, tc: tc, ld: x.Stride, curve: layout.ColMajor}
+		if gc != gr {
+			mt.tilesc = gc
+		}
+		return mt
 	}
-	cm, am, bm := mk(cp, tm, tn), mk(ap, tm, tk), mk(bp, tk, tn)
+	cm, am, bm := mk(cp, gm, gn, tm, tn), mk(ap, gm, gk, tm, tk), mk(bp, gk, gn, tk, tn)
 	t1 := time.Now()
 	var work, span float64
 	err = e.phase(ctx, obs.KindCompute, "recmat.compute", func() error {
@@ -677,7 +734,7 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	}
 	defer func() {
 		if tr != nil {
-			tr.LaneSpan(lane, obs.KindGEMM, tCall, time.Since(tCall), 0)
+			tr.LaneSpan(lane, obs.KindGEMM, tCall, time.Since(tCall), gemmSpanArg(stats))
 		}
 		recordCallMetrics(opts.Metrics, stats, err, time.Since(tCall))
 	}()
@@ -708,6 +765,11 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	if err != nil {
 		return nil, err
 	}
+	if o.Alg == AlgAuto {
+		sel := o
+		sel.Curve = C.Curve
+		o.Alg = selectAlg(sel, C.PaddedRows(), A.PaddedCols(), C.PaddedCols())
+	}
 	alg, serial, est, notes, err := admit(o, pool.Workers(),
 		C.PaddedRows(), A.PaddedCols(), C.PaddedCols(), C.TR, A.TC, C.TC, false)
 	if err != nil {
@@ -722,7 +784,7 @@ func MulTiledCtx(ctx context.Context, pool *sched.Pool, opts Options, C, A, B *T
 	if serial {
 		stacks = 1
 	}
-	ar := acquireArena(alg, 1<<C.D, C.TR, A.TC, C.TC, e.fastCutoff, stacks)
+	ar := acquireArena(alg, 1<<C.D, 1<<C.D, 1<<C.D, C.TR, A.TC, C.TC, e.fastCutoff, stacks)
 	defer releaseArena(ar)
 	e.ar = ar
 	if tr != nil && ar != nil {
@@ -819,7 +881,59 @@ func WorkSpan(alg Alg, d uint, t int) (work, span float64) {
 			return total, total
 		}
 	default:
-		panic("core: invalid algorithm")
+		tb := tableOf(alg)
+		if tb == nil {
+			panic("core: invalid algorithm")
+		}
+		if tb.M != 2 || tb.K != 2 || tb.N != 2 {
+			// On the square power-of-two grid this function models, a
+			// rectangular table hands the whole recursion to its base.
+			return WorkSpan(tb.Base, d, t)
+		}
+		// Generic ⟨2,2,2⟩ table: R products; one element-wise pass per
+		// term beyond the first of each multi-term U/V row (the fused
+		// first pair costs one pass), one accumulate pass per W term.
+		// Schedule aux rows cost one fused pass per term beyond the
+		// first, materialized once per level; scheduled U/V/W rows then
+		// reference them like any block. The engine accounts the DFS
+		// first-touch copy of a W aux as a move, not an add, so the
+		// count below is exact on both parallel policies.
+		var passes, preDepth, postDepth int
+		for _, aux := range [][][]tableTerm{tb.AuxU, tb.AuxV} {
+			for _, row := range aux {
+				// Aux chains are dependent; their passes serialize.
+				passes += len(row) - 1
+				preDepth += len(row) - 1
+			}
+		}
+		for r := 0; r < tb.R; r++ {
+			for _, row := range [][]tableTerm{tb.U[r], tb.V[r]} {
+				if p := len(row) - 1; p > 0 {
+					passes += p
+					if p > preDepth {
+						preDepth = p
+					}
+				}
+			}
+		}
+		for _, row := range tb.AuxW {
+			passes += len(row) - 1
+			postDepth += len(row) - 1
+		}
+		for _, row := range tb.W {
+			passes += len(row)
+			if len(row) > postDepth {
+				postDepth = len(row)
+			}
+		}
+		rec = func(tiles int) (float64, float64) {
+			if tiles == 1 {
+				return leafFlops, leafFlops
+			}
+			w, s := rec(tiles / 2)
+			a := addFlops(tiles / 2)
+			return float64(tb.R)*w + float64(passes)*a, s + float64(preDepth+postDepth)*a
+		}
 	}
 	if !bits.IsPow2(1 << d) {
 		panic("unreachable")

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/layout"
+	"repro/internal/tile"
+)
+
+// This file chooses the recursion geometry for the table-driven
+// ⟨m,k,n⟩ algorithms and resolves the AlgAuto per-shape selection.
+//
+// A rectangular table divides the three tile grids by M, K, N per
+// level, so its natural geometry is mixed-radix: gm = M^l·2^d,
+// gk = K^l·2^d, gn = N^l·2^d — l table levels, then d levels of the
+// square power-of-two base algorithm. The chooser enumerates (l, d)
+// pairs whose tile sizes land in the configured range and scores each
+// by a padded-flop model; the same model prices the ⟨2,2,2⟩ family so
+// AlgAuto can compare candidates on equal footing. The model is the
+// standard fast-algorithm recurrence: the leaves do
+// 2·R^l·7^d·tm·tk·tn flops (R products per table level, 7 per
+// Strassen-family level below), with a mild efficiency penalty for
+// tiles below the sweet spot — exactly the padding-vs-flop-ratio
+// trade the paper's Section 5 measures for the quadrant algorithms.
+
+// tableGeom is one chosen mixed-radix geometry.
+type tableGeom struct {
+	l          int  // table levels
+	d          uint // power-of-two levels below
+	gm, gk, gn int  // grid extents: M^l·2^d etc.
+	tm, tk, tn int  // tile sizes
+	cost       float64
+}
+
+const maxGeomDim = int64(1) << 31
+
+// geomCost scores a candidate: modeled leaf flops over a leaf-
+// efficiency factor that ramps linearly below the sweet tile size.
+func geomCost(products float64, tm, tk, tn, sweet int) float64 {
+	flops := 2 * products * float64(tm) * float64(tk) * float64(tn)
+	t := tm
+	if tk < t {
+		t = tk
+	}
+	if tn < t {
+		t = tn
+	}
+	eff := 1.0
+	if sweet > 0 && t < sweet {
+		eff = float64(t) / float64(sweet)
+	}
+	return flops / eff
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// chooseTableGeom picks the best mixed-radix geometry (l ≥ 1) for tb on
+// an m×k×n block, or ok=false when no candidate keeps every tile inside
+// [TMin, TMax] — the caller then falls back to the square power-of-two
+// geometry, where the engine hands the whole grid to tb.Base.
+func chooseTableGeom(tb *Table, cfg tile.Config, m, k, n int) (tableGeom, bool) {
+	var best tableGeom
+	ok := false
+	rl := float64(tb.R)
+	gm0, gk0, gn0 := tb.M, tb.K, tb.N
+	for l := 1; l <= 8; l++ {
+		if gm0 > m && gk0 > k && gn0 > n {
+			break
+		}
+		p7 := rl
+		gm, gk, gn := gm0, gk0, gn0
+		for d := uint(0); d <= 20; d++ {
+			if int64(gm) > int64(m)*2 && int64(gk) > int64(k)*2 && int64(gn) > int64(n)*2 {
+				break
+			}
+			tm, tk, tn := ceilDiv(m, gm), ceilDiv(k, gk), ceilDiv(n, gn)
+			inRange := func(t int) bool { return t >= cfg.TMin && t <= cfg.TMax }
+			if inRange(tm) && inRange(tk) && inRange(tn) &&
+				int64(gm)*int64(tm) < maxGeomDim && int64(gk)*int64(tk) < maxGeomDim &&
+				int64(gn)*int64(tn) < maxGeomDim {
+				c := geomCost(p7, tm, tk, tn, cfg.TSweet)
+				if !ok || c < best.cost {
+					best = tableGeom{l: l, d: d, gm: gm, gk: gk, gn: gn, tm: tm, tk: tk, tn: tn, cost: c}
+					ok = true
+				}
+			}
+			gm, gk, gn = gm*2, gk*2, gn*2
+			p7 *= 7
+		}
+		gm0, gk0, gn0 = gm0*tb.M, gk0*tb.K, gn0*tb.N
+		rl *= float64(tb.R)
+	}
+	return best, ok
+}
+
+// fastSquareCost prices the ⟨2,2,2⟩ family (Winograd on the square
+// power-of-two geometry) on an m×k×n block with the same model
+// chooseTableGeom uses, so AlgAuto compares like against like.
+func fastSquareCost(cfg tile.Config, m, k, n int) float64 {
+	best := -1.0
+	p7 := 1.0
+	for d := uint(0); d <= 24; d++ {
+		g := 1 << d
+		tm, tk, tn := ceilDiv(m, g), ceilDiv(k, g), ceilDiv(n, g)
+		if tm <= cfg.TMax && tk <= cfg.TMax && tn <= cfg.TMax {
+			c := geomCost(p7, tm, tk, tn, cfg.TSweet)
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if tm == 1 && tk == 1 && tn == 1 {
+			break
+		}
+		p7 *= 7
+	}
+	return best
+}
+
+// selectAlg resolves AlgAuto for an m×k×n multiplication: Standard for
+// small problems (recursion overhead and padding dominate any flop
+// savings), otherwise the cheapest of Winograd and the rectangular
+// table algorithms under the shared cost model. Rectangular tables are
+// candidates only on canonical storage with free tile choice — on the
+// recursive curves the quad-based grids hand them straight to their
+// base, so they can never beat it. A table must undercut Winograd by a
+// clear margin to be chosen: the model ignores constant-factor
+// overheads of the generic engine, so near-ties go to the hand-tuned
+// code.
+// ResolveAlg is the exported form of the AlgAuto resolution for callers
+// that must know the algorithm before the engine runs — the serving
+// layer keys its plan cache and request coalescing on the resolved
+// choice. It applies the same option defaults the driver would, so it
+// answers exactly what a GEMM with these options on this shape will
+// run (before any admission-control degradation).
+func ResolveAlg(o Options, m, k, n int) Alg {
+	return selectAlg((&o).withDefaults(), m, k, n)
+}
+
+func selectAlg(o Options, m, k, n int) Alg {
+	if o.Alg != AlgAuto {
+		return o.Alg
+	}
+	small := 4 * o.Tile.TSweet
+	if m < small || k < small || n < small {
+		return Standard
+	}
+	best := Winograd
+	bestCost := fastSquareCost(o.Tile, m, k, n)
+	if o.Curve == layout.ColMajor && o.ForceTile == 0 {
+		for i, tb := range tableRegistry {
+			if tb.M == 2 && tb.K == 2 && tb.N == 2 {
+				continue
+			}
+			if g, ok := chooseTableGeom(tb, o.Tile, m, k, n); ok && g.cost < bestCost*0.97 {
+				best, bestCost = tableAlgBase+Alg(i), g.cost
+			}
+		}
+	}
+	return best
+}

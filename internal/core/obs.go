@@ -17,6 +17,25 @@ import (
 // these helpers reduce to a nil check and a couple of clock reads that
 // the driver was already paying for its Stats timers.
 
+// The whole-call gemm span carries the resolved algorithm (offset by
+// one so a failed call's zero arg stays "no metadata"); the formatter
+// turns the id back into the algorithm name in the Chrome export.
+func init() {
+	obs.SetArgFormatter(obs.KindGEMM, func(v int64) string {
+		return Alg(v - 1).String()
+	})
+}
+
+// gemmSpanArg encodes the algorithm a finished call actually ran for
+// its trace span; zero (suppressed) when the call failed before one
+// was resolved.
+func gemmSpanArg(stats *Stats) int64 {
+	if stats == nil {
+		return 0
+	}
+	return int64(stats.Alg) + 1
+}
+
 // phase wraps one driver phase (convert-in, compute, convert-out) in a
 // runtime/trace region and, when the call captured a tracer at entry, a
 // span on the call's lane. The region and span close on error paths
@@ -109,6 +128,12 @@ const (
 	// and autotuning in front of the kernels, traces and scrapes must
 	// show which implementation executed, not which was requested.
 	metricKernelCallsPrefix = "kernel_calls_"
+	// metricAlgSelectedPrefix labels calls by the algorithm that
+	// actually ran (e.g. alg_selected_laderman-3x3x3). With AlgAuto and
+	// the admission ladder both able to move a call off the requested
+	// algorithm, scrapes need the resolved choice to see what the
+	// selection policy is doing in production.
+	metricAlgSelectedPrefix = "alg_selected_"
 )
 
 // recordCallMetrics aggregates one finished driver call into the
@@ -130,6 +155,7 @@ func recordCallMetrics(m *obs.Registry, stats *Stats, err error, wall time.Durat
 	if stats.Kernel != "" {
 		m.Counter(metricKernelCallsPrefix + stats.Kernel).Inc()
 	}
+	m.Counter(metricAlgSelectedPrefix + stats.Alg.String()).Inc()
 	m.Counter(metricDegradations).Add(int64(len(stats.Degraded)))
 	m.Counter(metricPoolHits).Add(int64(stats.PoolHits))
 	m.Counter(metricPoolMisses).Add(int64(stats.PoolMisses))

@@ -389,7 +389,7 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	}
 	defer func() {
 		if tr != nil {
-			tr.LaneSpan(lane, obs.KindGEMM, t0, time.Since(t0), 0)
+			tr.LaneSpan(lane, obs.KindGEMM, t0, time.Since(t0), gemmSpanArg(stats))
 		}
 		recordCallMetrics(opts.Metrics, stats, err, time.Since(t0))
 	}()
@@ -449,6 +449,14 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	if err != nil {
 		return nil, err
 	}
+	if o.Alg == AlgAuto {
+		// Plans are always curve storage, so the rectangular tables are
+		// never candidates here; the resolution picks Winograd or
+		// Standard from the plan shape.
+		sel := o
+		sel.Curve = pa.Curve
+		o.Alg = selectAlg(sel, pa.Rows, pa.Cols, pb.Cols)
+	}
 	// Admission with resident=true: the plans' packed operands were
 	// allocated once, outside this call, and are charged to the plan —
 	// only the pooled C tile and the arena count against the budget.
@@ -465,7 +473,7 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	if serial {
 		stacks = 1
 	}
-	ar := acquireArena(alg, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
+	ar := acquireArena(alg, 1<<d, 1<<d, 1<<d, tm, tk, tn, e.fastCutoff, stacks)
 	defer releaseArena(ar)
 	e.ar = ar
 	if tr != nil {

@@ -350,7 +350,8 @@ func TestStressGEMMFaultInjection(t *testing.T) {
 	failures := 0
 	for i := 0; i < 30; i++ {
 		C := matrix.New(n, n)
-		opts := Options{Curve: layout.ZMorton, Alg: []Alg{Standard, Strassen, Winograd}[i%3], ForceTile: 16}
+		algs := []Alg{Standard, Strassen, Winograd, TableWinograd222, TableFast323, TableLaderman333}
+		opts := Options{Curve: layout.ZMorton, Alg: algs[i%len(algs)], ForceTile: 16}
 		stats, err := GEMM(pool, opts, false, false, 1, A, B, 0, C)
 		if err == nil {
 			if stats == nil {

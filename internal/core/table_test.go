@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/tile"
+)
+
+// TestAlgTables is the Brent-equation gate: every registered coefficient
+// table must be an exact bilinear algorithm for its ⟨M,K,N⟩ shape. The
+// `make algtable-check` target runs exactly this test.
+func TestAlgTables(t *testing.T) {
+	if err := VerifyTables(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tb := range Tables() {
+		if seen[tb.Name] {
+			t.Errorf("duplicate table name %q", tb.Name)
+		}
+		seen[tb.Name] = true
+		if tb.R >= tb.M*tb.K*tb.N && tb.Name != "classical-2x1x2" {
+			t.Errorf("table %s: rank %d does not beat classical %d",
+				tb.Name, tb.R, tb.M*tb.K*tb.N)
+		}
+	}
+	for _, want := range []string{
+		"winograd-2x2x2", "strassen-2x2x2", "fast-3x2x3", "fast-4x2x4", "laderman-3x3x3",
+	} {
+		if !seen[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+// tableAlgList returns the registered table algorithm ids.
+func tableAlgList() []Alg {
+	return append([]Alg(nil), tableAlgs...)
+}
+
+// TestTableGEMMDifferential drives every table algorithm against the
+// naive reference over rectangular shapes, fringe sizes, and β values
+// on every layout. The shapes include dimensions aligned to the table
+// grids (so the mixed-radix geometry engages on canonical storage) and
+// deliberately misaligned fringes that force padding.
+func TestTableGEMMDifferential(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(99))
+	shapes := [][3]int{
+		{48, 32, 48},  // 3·2·3-aligned with testTile
+		{96, 64, 96},  // two table levels
+		{108, 72, 96}, // laderman-friendly m, rectangular
+		{61, 35, 77},  // fringe everywhere
+		{128, 16, 90}, // flat: small k
+		{24, 120, 24}, // deep: large k
+	}
+	for _, alg := range tableAlgList() {
+		for _, cv := range mulCurves {
+			for _, sh := range shapes {
+				for _, beta := range []float64{0, 1, -0.5} {
+					m, k, n := sh[0], sh[1], sh[2]
+					A := matrix.Random(m, k, rng)
+					B := matrix.Random(k, n, rng)
+					C := matrix.Random(m, n, rng)
+					want := C.Clone()
+					matrix.RefGEMM(false, false, 1.5, A, B, beta, want)
+
+					got := C.Clone()
+					opts := Options{Curve: cv, Alg: alg, Tile: testTile}
+					if _, err := GEMM(pool, opts, false, false, 1.5, A, B, beta, got); err != nil {
+						t.Fatalf("%v/%v %v beta=%g: %v", alg, cv, sh, beta, err)
+					}
+					if !matrix.Equal(got, want, tol(m, k, n)) {
+						t.Errorf("%v/%v %v beta=%g: max diff %g",
+							alg, cv, sh, beta, matrix.MaxAbsDiff(got, want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableResidualGrowth bounds the numerical error of each table
+// algorithm relative to the naive sum. Fast bilinear algorithms trade
+// a few digits for flops; the factor below is generous for one or two
+// recursion levels yet catches a wrong table immediately (a single
+// sign error produces O(1) relative error, ~1e10 beyond this bound).
+func TestTableResidualGrowth(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(4))
+	m, k, n := 96, 96, 96
+	A := matrix.Random(m, k, rng)
+	B := matrix.Random(k, n, rng)
+	want := matrix.New(m, n)
+	matrix.RefGEMM(false, false, 1, A, B, 0, want)
+	var wantNorm float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if v := math.Abs(want.At(i, j)); v > wantNorm {
+				wantNorm = v
+			}
+		}
+	}
+	for _, alg := range tableAlgList() {
+		C := matrix.New(m, n)
+		if _, err := GEMM(pool, Options{Alg: alg, Tile: testTile}, false, false, 1, A, B, 0, C); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		rel := matrix.MaxAbsDiff(C, want) / wantNorm
+		// ~50·k·ε leaves an order of magnitude of slack over the
+		// observed growth at this size while staying ~8 orders below
+		// any table error.
+		if bound := 50 * float64(k) * 2.2e-16; rel > bound {
+			t.Errorf("%v: relative residual %g exceeds bound %g", alg, rel, bound)
+		}
+	}
+}
+
+// TestChooseTableGeom checks the mixed-radix geometry chooser: grids
+// must be M^l·2^d with every tile inside [TMin, TMax], and the serving
+// shape the daemon auto-selects for must admit a laderman geometry.
+func TestChooseTableGeom(t *testing.T) {
+	cfg := tile.DefaultConfig
+	lad := tableOf(TableLaderman333)
+	g, ok := chooseTableGeom(lad, cfg, 1296, 864, 1296)
+	if !ok {
+		t.Fatal("no laderman geometry for 1296x864x1296")
+	}
+	pm, pk, pn := 1, 1, 1
+	for i := 0; i < g.l; i++ {
+		pm, pk, pn = pm*lad.M, pk*lad.K, pn*lad.N
+	}
+	pm, pk, pn = pm<<g.d, pk<<g.d, pn<<g.d
+	if g.gm != pm || g.gk != pk || g.gn != pn {
+		t.Fatalf("grid %dx%dx%d is not M^l·2^d = %dx%dx%d (l=%d d=%d)",
+			g.gm, g.gk, g.gn, pm, pk, pn, g.l, g.d)
+	}
+	for _, tl := range []int{g.tm, g.tk, g.tn} {
+		if tl < cfg.TMin || tl > cfg.TMax {
+			t.Fatalf("tile %d outside [%d, %d]", tl, cfg.TMin, cfg.TMax)
+		}
+	}
+	// A shape no table level fits (tiles would land outside the range
+	// for every l ≥ 1) must report ok=false.
+	if _, ok := chooseTableGeom(lad, cfg, 20, 20, 20); ok {
+		t.Error("expected no geometry for a 20x20x20 problem at default tiles")
+	}
+}
+
+// TestSelectAlg pins the AlgAuto policy: explicit algorithms pass
+// through, small problems stay on Standard, recursive-curve storage
+// never picks a rectangular table, and the rectangular serving shape
+// resolves to a rectangular table on canonical storage.
+func TestSelectAlg(t *testing.T) {
+	cfg := tile.DefaultConfig
+	base := Options{Alg: AlgAuto, Tile: cfg, Curve: layout.ColMajor}
+
+	explicit := base
+	explicit.Alg = Strassen
+	if got := selectAlg(explicit, 4096, 4096, 4096); got != Strassen {
+		t.Errorf("explicit alg: got %v, want Strassen", got)
+	}
+	if got := selectAlg(base, 100, 100, 100); got != Standard {
+		t.Errorf("small problem: got %v, want Standard", got)
+	}
+	curved := base
+	curved.Curve = layout.ZMorton
+	if got := selectAlg(curved, 1296, 864, 1296); tableOf(got) != nil && tableOf(got).M != 2 {
+		t.Errorf("curve storage picked rectangular table %v", got)
+	}
+	got := selectAlg(base, 1296, 864, 1296)
+	tb := tableOf(got)
+	if tb == nil || tb.M == 2 && tb.K == 2 && tb.N == 2 {
+		t.Errorf("1296x864x1296: got %v, want a rectangular table algorithm", got)
+	}
+}

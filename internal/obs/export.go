@@ -119,7 +119,11 @@ func (t *Tracer) Export(w io.Writer) error {
 			je.Dur = float64(e.dur) / 1e3
 		}
 		if e.arg != 0 {
-			je.Args = map[string]any{"v": e.arg}
+			if f := argFormatters[e.kind]; f != nil {
+				je.Args = map[string]any{"v": f(e.arg)}
+			} else {
+				je.Args = map[string]any{"v": e.arg}
+			}
 		}
 		out.TraceEvents = append(out.TraceEvents, je)
 	}

@@ -113,6 +113,21 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// argFormatters optionally renders a kind's int64 span arg as a string
+// in the Chrome export (e.g. the gemm span's algorithm id → its name).
+// Registered at init time by the packages that own the encoding, read
+// only at export time.
+var argFormatters [numKinds]func(int64) string
+
+// SetArgFormatter installs the export-time renderer for k's span arg.
+// Call from an init function; installing formatters after tracing has
+// started races with export.
+func SetArgFormatter(k Kind, f func(int64) string) {
+	if k > 0 && k < numKinds {
+		argFormatters[k] = f
+	}
+}
+
 // durInstant is the Dur sentinel marking an instant event.
 const durInstant = int64(-1)
 

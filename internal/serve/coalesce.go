@@ -103,11 +103,13 @@ func (co *coalescer) eligible(req *Request) (recmat.Layout, bool) {
 	return lay, true
 }
 
-// coalesceKey extends the plan-cache key with everything else that must
-// match wave-wide. Per-member knobs (n within the partner bucket, B and
-// C seeds, scalars, deadline) stay out of the key.
-func coalesceKey(req *Request, lay recmat.Layout) string {
-	return planKey(req, lay) + "/a=" + req.Alg
+// coalesceKey is the wave-compatibility key: the plan-cache key, which
+// already ends in the resolved algorithm — two requests spelling the
+// same choice differently ("auto" resolving to winograd vs explicit
+// "winograd") share a wave. Per-member knobs (n within the partner
+// bucket, B and C seeds, scalars, deadline) stay out of the key.
+func coalesceKey(req *Request, lay recmat.Layout, alg recmat.Algorithm) string {
+	return planKey(req, lay, alg)
 }
 
 // do runs one request through the coalescing path and blocks until its
@@ -115,7 +117,11 @@ func coalesceKey(req *Request, lay recmat.Layout) string {
 // quota reservation; only the leader touches the admission queue.
 func (co *coalescer) do(rctx context.Context, req *Request, budget int64, lay recmat.Layout) (*Response, error) {
 	m := &cmember{req: req, budget: budget, rctx: rctx, done: make(chan struct{})}
-	key := coalesceKey(req, lay)
+	alg, err := resolveReqAlg(req, lay)
+	if err != nil {
+		return nil, err
+	}
+	key := coalesceKey(req, lay, alg)
 	co.mu.Lock()
 	if g := co.groups[key]; g != nil && len(g.members) < co.maxBatch {
 		g.members = append(g.members, m)
@@ -244,14 +250,10 @@ func (co *coalescer) executeWave(lay recmat.Layout, members []*cmember, queueWai
 	stopLink := context.AfterFunc(co.s.drainCtx, func() { wcancel(ErrDraining) })
 	defer stopLink()
 
-	var alg recmat.Algorithm
-	if req0.Alg != "" {
-		a, err := recmat.ParseAlgorithm(req0.Alg)
-		if err != nil {
-			co.settleAll(members, fmt.Errorf("%w: %v", recmat.ErrDimension, err))
-			return
-		}
-		alg = a
+	alg, err := resolveReqAlg(req0, lay)
+	if err != nil {
+		co.settleAll(members, err)
+		return
 	}
 	// One engine call, one MemBudget: the most constrained member's, so
 	// no member's quota is overrun by the wave it happened to join.
@@ -263,7 +265,7 @@ func (co *coalescer) executeWave(lay recmat.Layout, members []*cmember, queueWai
 	}
 	opts := &recmat.Options{Layout: lay, Algorithm: alg, MemBudget: budget}
 
-	ent, err := co.s.plans.acquire(planKey(req0, lay), func() (*recmat.Plan, error) {
+	ent, err := co.s.plans.acquire(planKey(req0, lay, alg), func() (*recmat.Plan, error) {
 		pa := seededMat(req0.M, req0.K, req0.ASeed)
 		popts := *opts
 		popts.PartnerDim = partnerBucket(req0.N)

@@ -101,7 +101,8 @@ func TestCoalescingUnderConcurrency(t *testing.T) {
 	// state — the queue gauge alone hits 2 before the last joiners have
 	// arrived.
 	lay, _ := recmat.ParseLayout("z")
-	key := coalesceKey(reqs[0], lay)
+	alg, _ := resolveReqAlg(reqs[0], lay)
+	key := coalesceKey(reqs[0], lay, alg)
 	waitFor(t, "both waves fully formed", func() bool {
 		s.co.mu.Lock()
 		open := s.co.groups[key]
@@ -195,7 +196,8 @@ func TestCoalesceMemberCancelIsolation(t *testing.T) {
 	}
 
 	lay, _ := recmat.ParseLayout("z")
-	key := coalesceKey(reqs[0], lay)
+	alg, _ := resolveReqAlg(reqs[0], lay)
+	key := coalesceKey(reqs[0], lay, alg)
 	waitFor(t, "the wave to gather all members", func() bool {
 		s.co.mu.Lock()
 		defer s.co.mu.Unlock()
@@ -312,7 +314,8 @@ func TestDrainDuringCoalesce(t *testing.T) {
 		}(i)
 	}
 	lay, _ := recmat.ParseLayout("z")
-	key := coalesceKey(reqs[0], lay)
+	alg, _ := resolveReqAlg(reqs[0], lay)
+	key := coalesceKey(reqs[0], lay, alg)
 	waitFor(t, "the wave to gather all members", func() bool {
 		s.co.mu.Lock()
 		defer s.co.mu.Unlock()

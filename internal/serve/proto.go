@@ -37,8 +37,11 @@ type Request struct {
 	// Alpha defaults to 1 when omitted (nil); Beta defaults to 0.
 	Alpha *float64 `json:"alpha,omitempty"`
 	Beta  float64  `json:"beta,omitempty"`
-	// Alg and Layout name the algorithm and array layout ("" = the
-	// engine defaults: standard algorithm, column-major layout).
+	// Alg and Layout name the algorithm and array layout. An empty or
+	// "auto" Alg resolves per shape (Standard for small problems,
+	// otherwise the cheapest fast algorithm under the engine's cost
+	// model); Response.AlgRan reports the choice. An empty Layout means
+	// column-major.
 	Alg    string `json:"alg,omitempty"`
 	Layout string `json:"layout,omitempty"`
 	// DeadlineMS is the client's latency budget; the server caps it at
@@ -51,10 +54,10 @@ type Request struct {
 
 // Response is the success body of /v1/gemm.
 type Response struct {
-	Tenant  string `json:"tenant"`
-	M       int    `json:"m"`
-	K       int    `json:"k"`
-	N       int    `json:"n"`
+	Tenant string `json:"tenant"`
+	M      int    `json:"m"`
+	K      int    `json:"k"`
+	N      int    `json:"n"`
 	// AlgRan is the algorithm that actually executed — it differs from
 	// the requested one when the degradation ladder stepped in under
 	// the tenant's memory budget.

@@ -410,14 +410,35 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 }
 
 // planKey is the operand-identity key of the plan cache: tenant, name,
-// shape, seed, layout, and the partner-width bucket the plan was split
-// for. Everything that changes the packed bytes is in the key.
-func planKey(req *Request, lay recmat.Layout) string {
+// shape, seed, layout, the partner-width bucket the plan was split for,
+// and the RESOLVED algorithm (never the "auto" sentinel — two requests
+// whose auto choices differ must not share a plan, and two spellings of
+// the same choice must). Everything that changes the packed bytes or
+// the recursion that consumes them is in the key.
+func planKey(req *Request, lay recmat.Layout, alg recmat.Algorithm) string {
 	return req.Tenant + "/" + req.AName +
 		"/" + strconv.Itoa(req.M) + "x" + strconv.Itoa(req.K) +
 		"/s" + strconv.FormatInt(req.ASeed, 10) +
 		"/" + lay.String() +
-		"/p" + strconv.Itoa(partnerBucket(req.N))
+		"/p" + strconv.Itoa(partnerBucket(req.N)) +
+		"/a=" + alg.String()
+}
+
+// resolveReqAlg parses a request's algorithm field ("" and "auto" both
+// mean per-shape auto-selection) and resolves it against the request
+// shape, so every downstream consumer — plan key, coalesce key, engine
+// options — sees one concrete algorithm.
+func resolveReqAlg(req *Request, lay recmat.Layout) (recmat.Algorithm, error) {
+	alg := recmat.Auto
+	if req.Alg != "" {
+		a, err := recmat.ParseAlgorithm(req.Alg)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", recmat.ErrDimension, err)
+		}
+		alg = a
+	}
+	opts := &recmat.Options{Layout: lay, Algorithm: alg}
+	return recmat.ResolveAlgorithm(opts, req.M, req.K, req.N), nil
 }
 
 // partnerBucket rounds the streamed right-hand width up to a power of
@@ -458,13 +479,9 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 		}
 		lay = l
 	}
-	var alg recmat.Algorithm
-	if req.Alg != "" {
-		a, err := recmat.ParseAlgorithm(req.Alg)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", recmat.ErrDimension, err)
-		}
-		alg = a
+	alg, err := resolveReqAlg(req, lay)
+	if err != nil {
+		return nil, err
 	}
 	opts := &recmat.Options{Layout: lay, Algorithm: alg, MemBudget: budget}
 
@@ -492,7 +509,7 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 	cached := false
 	if req.AName != "" && lay != recmat.ColMajor && s.cfg.PlanCacheBytes > 0 {
 		var ent *planEntry
-		ent, err = s.plans.acquire(planKey(req, lay), func() (*recmat.Plan, error) {
+		ent, err = s.plans.acquire(planKey(req, lay, alg), func() (*recmat.Plan, error) {
 			pa := seededMat(req.M, req.K, req.ASeed)
 			popts := *opts
 			popts.PartnerDim = partnerBucket(req.N)

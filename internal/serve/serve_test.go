@@ -486,3 +486,46 @@ func TestBetaAtomicityOnFailure(t *testing.T) {
 		t.Fatalf("failure was not typed: %v", err)
 	}
 }
+
+// TestAutoAlgorithmSelection: a request without an algorithm resolves
+// per shape. The rectangular serving shape must land on one of the
+// table-driven ⟨m,k,n⟩ algorithms (the point of carrying them), a small
+// shape on Standard, and the resolved choice must surface in AlgRan and
+// the alg_selected_* counters behind /metricz.
+func TestAutoAlgorithmSelection(t *testing.T) {
+	// The table algorithms' breadth-first scratch estimate at this shape
+	// needs more headroom than the default 256 MiB tenant quota leaves,
+	// or admission (correctly) degrades the call off the selected table.
+	s, c := newTestServer(t, Config{Workers: 4, TenantQuotaBytes: 1 << 30})
+
+	req := &Request{
+		Tenant: "acme", M: 1296, K: 864, N: 1296,
+		ASeed: 1, BSeed: 2, DeadlineMS: 8000,
+	}
+	resp, err := c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := recmat.ResolveAlgorithm(&recmat.Options{Algorithm: recmat.Auto}, req.M, req.K, req.N)
+	switch want {
+	case recmat.TableFast323, recmat.TableFast424, recmat.TableLaderman333:
+	default:
+		t.Fatalf("auto policy picked %v for %dx%dx%d, want a rectangular table algorithm",
+			want, req.M, req.K, req.N)
+	}
+	if resp.AlgRan != want.String() {
+		t.Fatalf("AlgRan = %q, want %q", resp.AlgRan, want.String())
+	}
+	if s.Metrics().Counter("alg_selected_"+want.String()).Value() < 1 {
+		t.Fatalf("alg_selected_%s counter not incremented", want)
+	}
+
+	small := &Request{Tenant: "acme", M: 24, K: 24, N: 24, ASeed: 1, BSeed: 2}
+	sresp, err := c.Do(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sresp.AlgRan != recmat.Standard.String() {
+		t.Fatalf("small shape AlgRan = %q, want standard", sresp.AlgRan)
+	}
+}

@@ -121,13 +121,51 @@ const (
 	// reproduces the paper's observation that it behaves like the
 	// standard algorithm with respect to layouts.
 	StrassenLowMem = core.StrassenLowMem
+	// Auto resolves the algorithm per problem shape: Standard for small
+	// problems, otherwise the cheapest of Winograd and the rectangular
+	// table algorithms under a shared padded-flop cost model. The
+	// resolved choice is recorded in Report.Alg.
+	Auto = core.AlgAuto
 )
 
-// Algorithms lists all supported algorithms.
-var Algorithms = []Algorithm{Standard, Standard8, Strassen, Winograd, StrassenLowMem}
+// The table-driven bilinear ⟨m,k,n⟩ algorithms: each is a sparse
+// coefficient table (Benson–Ballard style) run by one generic recursive
+// engine. The ⟨2,2,2⟩ entries are the classic algorithms in table form;
+// the rectangular tables divide the three dimensions at different rates
+// and win on correspondingly rectangular problems.
+var (
+	TableWinograd222 = core.TableWinograd222 // ⟨2,2,2⟩ rank 7, Winograd's addition count
+	TableStrassen222 = core.TableStrassen222 // ⟨2,2,2⟩ rank 7, Strassen's original
+	TableFast323     = core.TableFast323     // ⟨3,2,3⟩ rank 17
+	TableFast424     = core.TableFast424     // ⟨4,2,4⟩ rank 28
+	TableLaderman333 = core.TableLaderman333 // ⟨3,3,3⟩ rank 23, Laderman
+)
 
-// ParseAlgorithm resolves an algorithm name.
+// Algorithms lists all supported algorithms, enumerated from the core
+// registry so the table-driven algorithms appear automatically. Auto is
+// excluded: it is a selection policy, not an algorithm.
+var Algorithms = append([]Algorithm(nil), core.Algs...)
+
+// AlgorithmNames returns the parseable name of every supported
+// algorithm, plus "auto", in registry order — the canonical source for
+// command-line help and error listings.
+func AlgorithmNames() []string { return core.AlgNames() }
+
+// ParseAlgorithm resolves an algorithm name (see AlgorithmNames).
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlg(s) }
+
+// ResolveAlgorithm reports the algorithm a multiplication of the given
+// m×k×n shape with these options will run: Options.Algorithm itself
+// when explicit, or the per-shape Auto choice. Callers that cache or
+// route work by algorithm (the serving daemon's plan cache) use this to
+// key on the resolved choice rather than the "auto" sentinel.
+func ResolveAlgorithm(opts *Options, m, k, n int) Algorithm {
+	var o core.Options
+	if opts != nil {
+		o = opts.coreOptions()
+	}
+	return core.ResolveAlg(o, m, k, n)
+}
 
 // TileConfig controls tile-size selection (Section 4): tiles are chosen
 // from [TMin, TMax] so that the padded matrix is a 2^d grid of tiles.
