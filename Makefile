@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race stress soak bench bench-kernel fuzz bench-json obs-gate trace-smoke asm-check algtable-check
+.PHONY: check build vet test race stress soak bench bench-kernel fuzz bench-json obs-gate trace-smoke omcheck asm-check algtable-check
 
-check: build vet race stress soak obs-gate trace-smoke asm-check algtable-check
+check: build vet race stress soak obs-gate trace-smoke omcheck asm-check algtable-check
 
 # The algorithm-table gate: every registered bilinear <m,k,n>
 # coefficient table must satisfy the Brent equations in exact integer
@@ -63,15 +63,24 @@ soak:
 # The observability gates. obs-gate bounds the disabled-tracer cost —
 # tracepoints-per-multiply × per-tracepoint nil-check cost, both
 # measured in one process — at 2% of an n=512 multiply's wall time,
-# and validates a traced 512³ Strassen export. trace-smoke exercises
-# the CLI path end to end: cmd/matmul writes a Chrome trace and
-# cmd/tracecheck re-validates the file the way Perfetto would load it.
+# bounds the serving layer's always-on request-ledger cost at 2% of the
+# smallest plausible request, and validates a traced 512³ Strassen
+# export. trace-smoke exercises the CLI path end to end: cmd/matmul
+# writes a Chrome trace and cmd/tracecheck re-validates the file the
+# way Perfetto would load it. omcheck is the OpenMetrics conformance
+# gate: the /metricz text exposition (and the renderer underneath it)
+# must pass the strict lint — counter/gauge/histogram suffix contracts,
+# cumulative le buckets, +Inf == _count, terminal # EOF.
 obs-gate:
 	RECMAT_OBS_GATE=1 $(GO) test -run 'TestObsGate' -count=1 -v .
 
 trace-smoke:
 	$(GO) run ./cmd/matmul -m 512 -alg strassen -layout z -trace /tmp/recmat_trace.json > /dev/null
-	$(GO) run ./cmd/tracecheck /tmp/recmat_trace.json
+	$(GO) run ./cmd/tracecheck -stats /tmp/recmat_trace.json
+
+omcheck:
+	$(GO) test -run 'TestOpenMetricsRoundTrip|TestLintOpenMetricsRejects' -count=1 -v ./internal/obs
+	$(GO) test -run 'TestMetriczOpenMetrics' -count=1 -v ./internal/serve
 
 # The perf-regression gate: re-measure the standard algorithm and
 # compare against the committed BENCH_9.json record. Individual points
@@ -94,7 +103,7 @@ trace-smoke:
 # warrants one re-run before treating it as a real regression.
 bench:
 	$(GO) run ./cmd/benchjson -o /tmp/bench_head.json -sizes 512 -reps 6 -algs standard -shapes ''
-	$(GO) run ./cmd/benchdiff -baseline BENCH_9.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15 -batchmin 1.2
+	$(GO) run ./cmd/benchdiff -baseline BENCH_10.json -candidate /tmp/bench_head.json -alg standard -noscale -tol 0.10 -pointtol 0.40 -convtol 0.10 -servemin 1.15 -batchmin 1.2
 
 # The kernel acceptance benchmark: every registered kernel — packed
 # pure-Go tiers and whatever assembly kernels the host unlocked —
@@ -108,4 +117,4 @@ fuzz:
 
 # Regenerate the committed benchmark record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_9.json -reps 4
+	$(GO) run ./cmd/benchjson -o BENCH_10.json -reps 4

@@ -11,7 +11,7 @@
 // unchanged; only keys present in both files are compared (records from
 // schema ≤2 files have no mode and compare against mode-less
 // candidates). With -alg set, the
-// comparison is restricted to that algorithm. All schemas 1–8 load: the
+// comparison is restricted to that algorithm. All schemas 1–9 load: the
 // decoder ignores fields a schema lacks, per-schema gates arm only when
 // both files carry the data, and schema 5's cpu_features is metadata
 // only — kernels present in just one file (e.g. an assembly kernel the
@@ -25,7 +25,12 @@
 // does: the batched/looped speedup is measured in one window, so host
 // drift cancels, and -batchmin is the floor it must clear. The
 // serve-daemon-batch record (coalescing workload) prints its QPS and
-// coalesce rate informationally alongside serve-daemon.
+// coalesce rate informationally alongside serve-daemon. Schema 9's
+// request-phase attribution (where each serve-daemon window's latency
+// went: queue vs gather vs pack/compute/unpack) and flight-dump count
+// print the same way — informational only, never gating, because the
+// phase mix moves with offered load and host contention exactly like
+// the latency percentiles it decomposes.
 //
 // Cross-file point-by-point comparison on a shared host is dominated by
 // burstiness (individual points swing ±30% between identical-code
@@ -82,6 +87,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 )
 
 type result struct {
@@ -110,6 +117,17 @@ type result struct {
 	BatchSize      int     `json:"batch_size"`
 	PerItemSeconds float64 `json:"per_item_seconds"`
 	CoalesceRate   float64 `json:"coalesce_rate"`
+	// Request-phase attribution (schema 9, informational only).
+	Attribution map[string]phaseAttr `json:"attribution"`
+	FlightDumps int64                `json:"flight_dumps"`
+}
+
+// phaseAttr mirrors serve.PhaseAttribution without importing the
+// serving package: one phase's aggregate across a daemon window.
+type phaseAttr struct {
+	MeanNS int64   `json:"mean_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	Share  float64 `json:"share"`
 }
 
 type output struct {
@@ -132,6 +150,8 @@ type point struct {
 	batchSize    int
 	perItem      float64
 	coalesce     float64
+	attribution  map[string]phaseAttr
+	flightDumps  int64
 }
 
 func load(path string) (map[key]point, float64, int, error) {
@@ -149,6 +169,7 @@ func load(path string) (map[key]point, float64, int, error) {
 			r.GFLOPS, r.ConvertShare, r.WorkerUtilization,
 			r.P50Seconds, r.P99Seconds, r.QPS, r.ShedRate,
 			r.BatchSize, r.PerItemSeconds, r.CoalesceRate,
+			r.Attribution, r.FlightDumps,
 		}
 	}
 	return m, o.RefGFLOPS, o.Schema, nil
@@ -326,7 +347,8 @@ func main() {
 	}
 
 	// Serving-daemon records (schema 6; schema 7 adds the coalescing
-	// workload twin and the coalesce rate): latency and shed rate under
+	// workload twin and the coalesce rate; schema 9 the request-phase
+	// attribution and flight-dump count): latency and shed rate under
 	// a deliberately saturating load. Offered load, host contention, and
 	// the generated request mix all move these numbers, so they inform
 	// rather than gate.
@@ -340,6 +362,9 @@ func main() {
 		}
 		fmt.Printf("  %s n=%-5d p50 %6.2fms -> %6.2fms  p99 %6.2fms -> %6.2fms  qps %6.0f -> %6.0f  shed %4.1f%% -> %4.1f%%  coalesce %4.1f%% -> %4.1f%% (informational)\n",
 			k.mode, k.n, 1e3*bp.p50, 1e3*cp.p50, 1e3*bp.p99, 1e3*cp.p99, bp.qps, cp.qps, 100*bp.shed, 100*cp.shed, 100*bp.coalesce, 100*cp.coalesce)
+		if line := attrDiff(bp, cp); line != "" {
+			fmt.Printf("  %s n=%-5d %s\n", k.mode, k.n, line)
+		}
 	}
 
 	if failed > 0 {
@@ -349,6 +374,49 @@ func main() {
 	}
 	fmt.Printf("benchdiff: PASS (%d points; geomean tol %.0f%%, point floor %.0f%%, convert share %.0f pts)\n",
 		compared, 100**tol, 100**pointTol, 100**convTol)
+}
+
+// attrDiff renders the request-phase attribution movement between a
+// baseline and a candidate serve-daemon record (schema 9). Phases are
+// listed by candidate share, descending; a phase only one side measured
+// shows the other side as "-". Empty when neither side has attribution
+// (schema ≤8 files), so older baselines print nothing new.
+func attrDiff(bp, cp point) string {
+	if len(bp.attribution) == 0 && len(cp.attribution) == 0 {
+		return ""
+	}
+	names := map[string]bool{}
+	for n := range bp.attribution {
+		names[n] = true
+	}
+	for n := range cp.attribution {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if cp.attribution[ordered[i]].Share != cp.attribution[ordered[j]].Share {
+			return cp.attribution[ordered[i]].Share > cp.attribution[ordered[j]].Share
+		}
+		return ordered[i] < ordered[j]
+	})
+	share := func(m map[string]phaseAttr, n string) string {
+		a, ok := m[n]
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", 100*a.Share)
+	}
+	parts := make([]string, 0, len(ordered)+1)
+	for _, n := range ordered {
+		parts = append(parts, fmt.Sprintf("%s %s -> %s", n, share(bp.attribution, n), share(cp.attribution, n)))
+	}
+	if bp.flightDumps != 0 || cp.flightDumps != 0 {
+		parts = append(parts, fmt.Sprintf("flight dumps %d -> %d", bp.flightDumps, cp.flightDumps))
+	}
+	return "attribution " + strings.Join(parts, ", ") + " (informational)"
 }
 
 func die(err error) {

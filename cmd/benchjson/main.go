@@ -1,11 +1,11 @@
 // benchjson measures end-to-end GFLOPS for every {algorithm, layout,
 // kernel} combination at fixed problem sizes and writes the results as
 // JSON — the machine-readable record of the repo's performance
-// trajectory (BENCH_9.json at the repo root is its committed output).
+// trajectory (BENCH_10.json at the repo root is its committed output).
 //
 // Usage:
 //
-//	benchjson [-o BENCH_9.json] [-sizes 512,1024] [-reps 2]
+//	benchjson [-o BENCH_10.json] [-sizes 512,1024] [-reps 2]
 //	          [-shapes 1024x1024x1024,1296x864x1296,...]
 //	          [-algs standard,strassen,winograd] [-kernels unrolled4,...,auto]
 //	          [-serve-b 48] [-serve-layout hilbert] [-serve-daemon 3s]
@@ -71,6 +71,17 @@
 // n (square records leave them 0 ≡ n), GFLOPS from 2mkn, and
 // algorithm_ran, the algorithm that executed ("auto"'s resolution, or
 // the admission ladder's degradation).
+//
+// Schema 9 adds per-request latency attribution to the serving-daemon
+// records: attribution maps each request phase (queue, gather, pack,
+// compute, unpack) to its mean, p99, and share of end-to-end latency,
+// aggregated by the load generator from the timing object every
+// response now carries — so the committed record shows where time at
+// the saturation edge actually goes, not just how much of it there is.
+// The daemon also runs with its SLO flight recorder armed the way
+// production would (spool directory, burn-rate monitor on the p99
+// objective), and flight_dumps records how many bundles the sweep's
+// overload tripped.
 package main
 
 import (
@@ -157,6 +168,13 @@ type result struct {
 	BatchSize      int     `json:"batch_size,omitempty"`
 	PerItemSeconds float64 `json:"per_item_seconds,omitempty"`
 	CoalesceRate   float64 `json:"coalesce_rate,omitempty"`
+	// Request-phase attribution (schema 9, serve-daemon records): each
+	// phase's mean, p99, and share of end-to-end latency, aggregated
+	// from the timing object of every successful response in the
+	// selected window. FlightDumps counts the SLO flight bundles the
+	// daemon's burn-rate monitor spooled during the sweep.
+	Attribution map[string]serve.PhaseAttribution `json:"attribution,omitempty"`
+	FlightDumps int64                             `json:"flight_dumps,omitempty"`
 }
 
 // fill copies a Report's telemetry into the record.
@@ -240,7 +258,7 @@ func main() {
 	// registered, then "auto" to record what the autotuner picks.
 	defaultKernels := append([]string{"unrolled4", "blocked", "packed8x4"}, recmat.SIMDKernels()...)
 	defaultKernels = append(defaultKernels, "auto")
-	out := flag.String("o", "BENCH_9.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_10.json", "output file (- for stdout)")
 	sizesFlag := flag.String("sizes", "512,1024", "comma-separated problem sizes")
 	algsFlag := flag.String("algs", "standard,strassen,winograd",
 		"comma-separated algorithms for the square sweep (from: "+strings.Join(recmat.AlgorithmNames(), ",")+")")
@@ -289,7 +307,7 @@ func main() {
 	eng := recmat.NewEngine(*workers)
 	defer eng.Close()
 	o := output{
-		Schema:      8,
+		Schema:      9,
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,
@@ -728,6 +746,16 @@ func serveDaemonBench(duration time.Duration, workload string, reps int) result 
 	// One server across all reps: the first window warms the plan cache
 	// and the engine's autotuned kernel picks, so the later windows
 	// measure the steady-state server the SLO is a statement about.
+	// The flight recorder is armed the way production would arm it —
+	// spool directory plus a burn-rate monitor on a p99 objective this
+	// deliberately saturating sweep is expected to burn — so the record
+	// carries how many bundles the overload actually tripped. The
+	// minute-long dump rate limit caps the recorder's perturbation at
+	// one dump per sweep, and the median-shed/max-QPS window selection
+	// below discards a dump-spoiled window like any other noisy one.
+	spool, err := os.MkdirTemp("", "benchjson-flight-")
+	die(err)
+	defer os.RemoveAll(spool)
 	s := serve.New(serve.Config{
 		Workers:        runtime.GOMAXPROCS(0),
 		MaxInflight:    2,
@@ -735,6 +763,14 @@ func serveDaemonBench(duration time.Duration, workload string, reps int) result 
 		MaxQueueWait:   20 * time.Millisecond,
 		PlanCacheBytes: 64 << 20,
 		MaxDim:         maxDim,
+
+		FlightSpoolDir:    spool,
+		FlightMinInterval: time.Minute,
+		SLOObjective:      50 * time.Millisecond,
+		SLOQuantile:       0.99,
+		SLOFastWindow:     2 * time.Second,
+		SLOSlowWindow:     6 * time.Second,
+		SLOPoll:           500 * time.Millisecond,
 	})
 	ts := httptest.NewServer(s.Handler())
 	var windows []*serve.Summary
@@ -767,6 +803,7 @@ func serveDaemonBench(duration time.Duration, workload string, reps int) result 
 			sum = w
 		}
 	}
+	flightDumps := s.FlightDumps()
 	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
 	die(s.Drain(dctx))
 	dcancel()
@@ -782,6 +819,8 @@ func serveDaemonBench(duration time.Duration, workload string, reps int) result 
 		RequestsTotal: sum.Total,
 		RequestsOK:    sum.OK,
 		CoalesceRate:  sum.CoalesceRate(),
+		Attribution:   sum.Attribution,
+		FlightDumps:   flightDumps,
 	}
 }
 

@@ -69,6 +69,9 @@ func main() {
 			"coalesced":        sum.Coalesced,
 			"coalesce_rate":    sum.CoalesceRate(),
 		}
+		if len(sum.Attribution) > 0 {
+			out["attribution"] = sum.Attribution
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

@@ -11,14 +11,19 @@
 //	        [-queue-wait 500ms] [-tenant-quota 268435456]
 //	        [-deadline 2s] [-max-deadline 10s] [-drain 5s]
 //	        [-plan-cache 536870912] [-max-dim 4096] [-max-batch 8]
+//	        [-spool DIR] [-flight-interval 1m]
+//	        [-slo-objective 0] [-slo-quantile 0.99]
+//	        [-slo-fast 10s] [-slo-slow 1m]
 //
 // Endpoints:
 //
-//	POST /v1/gemm    one C ← α·A·B + β·C operation (JSON; see internal/serve)
-//	GET  /healthz    liveness (200 while the process runs)
-//	GET  /readyz     readiness (503 once draining)
-//	GET  /metricz    JSON snapshot of the shared engine+daemon metrics
-//	GET  /debug/vars expvar, including the registry published as "recmat"
+//	POST /v1/gemm       one C ← α·A·B + β·C operation (JSON; see internal/serve)
+//	GET  /healthz       liveness (200 while the process runs)
+//	GET  /readyz        readiness (503 once draining)
+//	GET  /metricz       metrics: JSON by default, OpenMetrics text under a
+//	                    Prometheus Accept header or ?format=openmetrics
+//	GET  /debug/flightz SLO flight recorder: state, bundles, POST to dump
+//	GET  /debug/vars    expvar, including the registry published as "recmat"
 //
 // Fault injection for chaos drills is inherited from the library:
 // RECMAT_FAULTS="panic=0.01,delay=0.02/1ms,seed=7" recmatd ...
@@ -53,6 +58,12 @@ func main() {
 	planCache := flag.Int64("plan-cache", 512<<20, "prepacked plan cache bytes (negative disables)")
 	maxDim := flag.Int("max-dim", 4096, "max m, k, n accepted")
 	maxBatch := flag.Int("max-batch", 0, "max requests coalesced into one engine call (0 = 8, negative disables)")
+	spool := flag.String("spool", "", "flight-recorder spool directory (empty disables the recorder)")
+	flightInterval := flag.Duration("flight-interval", 0, "min interval between automatic flight dumps (0 = 1m)")
+	sloObjective := flag.Duration("slo-objective", 0, "latency SLO: dump a flight bundle when the monitored quantile burns past this over both windows (0 disables; requires -spool)")
+	sloQuantile := flag.Float64("slo-quantile", 0, "monitored latency quantile (0 = 0.99)")
+	sloFast := flag.Duration("slo-fast", 0, "fast burn-rate window (0 = 10s)")
+	sloSlow := flag.Duration("slo-slow", 0, "slow burn-rate window (0 = 1m)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -69,6 +80,13 @@ func main() {
 		MaxDim:           *maxDim,
 		MaxBatch:         *maxBatch,
 		Logf:             logger.Printf,
+
+		FlightSpoolDir:    *spool,
+		FlightMinInterval: *flightInterval,
+		SLOObjective:      *sloObjective,
+		SLOQuantile:       *sloQuantile,
+		SLOFastWindow:     *sloFast,
+		SLOSlowWindow:     *sloSlow,
 	})
 	if err := s.PublishExpvar("recmat"); err != nil {
 		logger.Printf("recmatd: expvar publish: %v", err)

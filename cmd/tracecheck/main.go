@@ -1,37 +1,80 @@
 // tracecheck validates a Chrome Trace Event JSON file the way the
 // library's exporter promises to produce it: parseable JSON, known
-// phase codes, per-track monotonic timestamps, and well-nested spans.
-// It prints a one-line summary and exits non-zero on a malformed
-// trace — the `make trace-smoke` target runs it over a trace freshly
-// produced by cmd/matmul.
+// phase codes, per-track monotonic timestamps, well-nested spans, and
+// every flow id carrying both a start and a finish. It prints a
+// one-line summary and exits non-zero on a malformed trace — the
+// `make trace-smoke` target runs it over a trace freshly produced by
+// cmd/matmul.
 //
 // Usage:
 //
-//	tracecheck trace.json
+//	tracecheck [-stats] [-min-request-links N] trace.json
+//
+// -stats prints per-event-name span counts (the quick "what is in this
+// trace" view). -min-request-links asserts the request→wave-item
+// linkage of a serving trace: at least N distinct flow ids pairing a
+// request lane to the engine work it rode, each on a named request
+// track — the contract the daemon's coalescer correlation promises.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/obs"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+	stats := flag.Bool("stats", false, "print per-event-name span counts")
+	minLinks := flag.Int("min-request-links", 0, "fail unless ≥ N request→wave flow links are present")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-stats] [-min-request-links N] trace.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	sum, err := obs.ValidateChromeTrace(data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: ok — %d events (%d spans, %d instants) on %d tracks, %d dropped\n",
-		os.Args[1], sum.Events, sum.Spans, sum.Instants, sum.Tracks, sum.Dropped)
+	fmt.Printf("%s: ok — %d events (%d spans, %d instants) on %d tracks (%d request lanes), %d flow links, %d dropped\n",
+		path, sum.Events, sum.Spans, sum.Instants, sum.Tracks, sum.RequestTracks, sum.FlowLinks, sum.Dropped)
+	if *stats {
+		names := make([]string, 0, len(sum.ByName))
+		for n := range sum.ByName {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if sum.ByName[names[i]] != sum.ByName[names[j]] {
+				return sum.ByName[names[i]] > sum.ByName[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, n := range names {
+			fmt.Printf("  %8d  %s\n", sum.ByName[n], n)
+		}
+	}
+	if *minLinks > 0 {
+		if sum.FlowLinks < *minLinks {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %d request→wave flow links, want ≥ %d\n",
+				path, sum.FlowLinks, *minLinks)
+			os.Exit(1)
+		}
+		if sum.RequestTracks == 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: flow links present but no named request lanes\n", path)
+			os.Exit(1)
+		}
+	}
 }

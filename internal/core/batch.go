@@ -50,6 +50,10 @@ type BatchItem struct {
 	// item already inside its compute finishes that product first.
 	// nil means the item lives exactly as long as the wave context.
 	Ctx context.Context
+	// TraceID, when non-zero, attributes this item's execution to a
+	// request: the item's wave-item span carries it as its arg, and the
+	// exporter links it to the matching request lane with flow events.
+	TraceID int64
 }
 
 // PrepackedBatchItem is one member of a GEMMPrepackedBatch wave: a raw
@@ -65,6 +69,8 @@ type PrepackedBatchItem struct {
 	Beta   float64
 	C      *matrix.Dense
 	Ctx    context.Context
+	// TraceID attributes this item to a request, as in BatchItem.
+	TraceID int64
 }
 
 // BatchStats extends Stats with wave-level accounting. The embedded
@@ -452,6 +458,12 @@ func GEMMBatch(ctx context.Context, pool *sched.Pool, opts Options, items []Batc
 // both operands into recycled buffers, nested-parallel product, serial
 // fused epilogue.
 func (wx *waveExec) runBatchItem(c *sched.Ctx, it *BatchItem, g itemGeom, i int, ws *waveWS) {
+	if tr := ws.e.tr; tr != nil {
+		its := time.Now()
+		defer func() {
+			tr.Span(c.WorkerID(), obs.KindWaveItem, its, time.Since(its), it.TraceID)
+		}()
+	}
 	ictx := wx.itemCtx(it.Ctx)
 	if c.Cancelled() {
 		wx.errs[i] = notStartedErr(i, wx.waveCause())
@@ -751,6 +763,12 @@ func GEMMPrepackedBatch(ctx context.Context, pool *sched.Pool, opts Options, pa 
 // over the k-segments, serial fused epilogue per output block — the
 // wave-task form of GEMMPrepacked's prepackedBlock loop.
 func (wx *waveExec) runPrepackedItem(c *sched.Ctx, pa *Prepacked, it *PrepackedBatchItem, g itemGeom, i int, ws *waveWS) {
+	if tr := ws.e.tr; tr != nil {
+		its := time.Now()
+		defer func() {
+			tr.Span(c.WorkerID(), obs.KindWaveItem, its, time.Since(its), it.TraceID)
+		}()
+	}
 	ictx := wx.itemCtx(it.Ctx)
 	if c.Cancelled() {
 		wx.errs[i] = notStartedErr(i, wx.waveCause())

@@ -89,6 +89,11 @@ type Options struct {
 	// and pool counters) — see the metric* names in obs.go. Updates are
 	// lock-free; the registry may be shared across pools and engines.
 	Metrics *obs.Registry
+	// TraceID, when non-zero, attributes this call to a served request:
+	// the call's lane carries a wave-item event with the id as its arg,
+	// which the exporter links back to the request's lane. Zero (the
+	// default) emits nothing extra.
+	TraceID int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -237,6 +242,9 @@ func GEMMCtx(ctx context.Context, pool *sched.Pool, opts Options, transA, transB
 	var lane int32
 	if tr != nil {
 		lane = tr.NewLane()
+		if opts.TraceID != 0 {
+			tr.LaneInstant(lane, obs.KindWaveItem, opts.TraceID)
+		}
 	}
 	defer func() {
 		if tr != nil {

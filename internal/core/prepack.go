@@ -386,6 +386,9 @@ func GEMMPrepacked(ctx context.Context, pool *sched.Pool, opts Options, alpha fl
 	var lane int32
 	if tr != nil {
 		lane = tr.NewLane()
+		if opts.TraceID != 0 {
+			tr.LaneInstant(lane, obs.KindWaveItem, opts.TraceID)
+		}
 	}
 	defer func() {
 		if tr != nil {

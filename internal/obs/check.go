@@ -19,8 +19,16 @@ type TraceSummary struct {
 	// Spans counts complete ('X') events, Instants counts 'i' events,
 	// Meta counts metadata ('M') records.
 	Spans, Instants, Meta int
-	// Tracks is the number of distinct tids carrying spans or instants.
-	Tracks int
+	// Flows counts flow events ('s'/'t'/'f'); FlowLinks is the number
+	// of distinct flow ids carrying both a start and a finish — for
+	// request traces, the number of requests linked to wave items.
+	Flows, FlowLinks int
+	// Tracks is the number of distinct tids carrying spans or instants;
+	// RequestTracks is how many of them are request lanes (tracks whose
+	// thread_name metadata names them "request N").
+	Tracks, RequestTracks int
+	// ByName counts spans and instants per event name (the -stats view).
+	ByName map[string]int
 	// Dropped echoes otherData.droppedEvents when present.
 	Dropped int64
 }
@@ -31,6 +39,10 @@ type chromeEvent struct {
 	Tid  int64   `json:"tid"`
 	TS   float64 `json:"ts"`
 	Dur  float64 `json:"dur"`
+	ID   int64   `json:"id"`
+	Args struct {
+		Name string `json:"name"`
+	} `json:"args"`
 }
 
 type chromeTrace struct {
@@ -55,12 +67,18 @@ func ValidateChromeTrace(data []byte) (TraceSummary, error) {
 		return sum, fmt.Errorf("obs: trace has no events")
 	}
 	sum.Dropped = tr.OtherData.DroppedEvents
+	sum.ByName = map[string]int{}
 
 	lastTS := map[int64]float64{}
 	// stacks holds, per track, the end timestamps of the open X spans.
 	stacks := map[int64][]float64{}
 	beDepth := map[int64]int{}
 	tracks := map[int64]bool{}
+	// flowStarts/flowEnds record, per flow id, how many start ('s') and
+	// finish ('f') endpoints were seen; a valid trace pairs every id.
+	flowStarts := map[int64]int{}
+	flowEnds := map[int64]int{}
+	requestTids := map[int64]bool{}
 	for i, e := range tr.TraceEvents {
 		sum.Events++
 		if e.Name == "" {
@@ -69,11 +87,27 @@ func ValidateChromeTrace(data []byte) (TraceSummary, error) {
 		switch e.Ph {
 		case "M":
 			sum.Meta++
+			if e.Name == "thread_name" && len(e.Args.Name) > len("request") && e.Args.Name[:len("request")+1] == "request " {
+				requestTids[e.Tid] = true
+			}
+			continue
+		case "s", "t", "f":
+			sum.Flows++
+			if e.ID == 0 {
+				return sum, fmt.Errorf("obs: flow event %d (%s) has no id", i, e.Name)
+			}
+			switch e.Ph {
+			case "s":
+				flowStarts[e.ID]++
+			case "f":
+				flowEnds[e.ID]++
+			}
 			continue
 		case "X", "i", "I", "B", "E":
 		default:
 			return sum, fmt.Errorf("obs: event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
 		}
+		sum.ByName[e.Name]++
 		tracks[e.Tid] = true
 		if prev, ok := lastTS[e.Tid]; ok && e.TS < prev {
 			return sum, fmt.Errorf("obs: tid %d timestamps regress at event %d (%s): %.3f after %.3f",
@@ -114,6 +148,22 @@ func ValidateChromeTrace(data []byte) (TraceSummary, error) {
 			return sum, fmt.Errorf("obs: tid %d has %d unclosed B events", tid, d)
 		}
 	}
+	for id, n := range flowStarts {
+		if flowEnds[id] == 0 {
+			return sum, fmt.Errorf("obs: flow id %d has %d start(s) but no finish", id, n)
+		}
+		sum.FlowLinks++
+	}
+	for id, n := range flowEnds {
+		if flowStarts[id] == 0 {
+			return sum, fmt.Errorf("obs: flow id %d has %d finish(es) but no start", id, n)
+		}
+	}
 	sum.Tracks = len(tracks)
+	for tid := range tracks {
+		if requestTids[tid] {
+			sum.RequestTracks++
+		}
+	}
 	return sum, nil
 }

@@ -16,14 +16,31 @@ import (
 // outermost-first sequence the viewers and the nesting validator
 // expect.
 
-// event is one decoded ring entry.
+// event is one decoded ring entry, or a flow endpoint synthesized at
+// export time (flow != 0).
 type event struct {
 	tid  int64
 	kind Kind
 	ts   int64 // ns
-	dur  int64 // ns; durInstant marks an instant
+	dur  int64 // ns; durInstant marks an instant, durFlow a flow event
 	arg  int64
+	flow int8 // 0: ring event; flowStart / flowFinish: synthetic
 }
+
+// durFlow sorts synthetic flow endpoints after the span and instant
+// events sharing their timestamp (the sort puts longer durations
+// first), so a flow binds to the slice already open at its ts.
+const durFlow = int64(-2)
+
+const (
+	flowStart  = int8(1)
+	flowFinish = int8(2)
+)
+
+// flowName is the shared name of every request→wave-item flow event;
+// Chrome binds flow endpoints by (cat, name, id), with id carrying the
+// request's trace serial.
+const flowName = "req-flow"
 
 // events decodes every live ring slot, discarding slots that were
 // never written or that decode as garbage (a torn read from a
@@ -58,8 +75,44 @@ func (t *Tracer) events() []event {
 // it after Uninstall, once traced work has quiesced; exporting while
 // events are still being recorded is memory-safe (slot reads are
 // atomic) but yields an arbitrary cut of the stream.
+// flowEvents synthesizes Chrome flow endpoints for every trace serial
+// that appears both as a KindRequest span arg and as a KindWaveItem
+// arg: a flow start ("s") anchored at the request span's start on the
+// request lane, and a flow finish ("f") at each matching wave item.
+// Serials seen on only one side emit nothing, keeping the trace valid
+// when a request's wave items fell out of a wrapped ring.
+func flowEvents(evs []event) []event {
+	reqAt := map[int64]event{}
+	for _, e := range evs {
+		if e.kind == KindRequest && e.dur != durInstant && e.arg != 0 {
+			reqAt[e.arg] = e
+		}
+	}
+	if len(reqAt) == 0 {
+		return nil
+	}
+	var flows []event
+	started := map[int64]bool{}
+	for _, e := range evs {
+		if e.kind != KindWaveItem || e.arg == 0 {
+			continue
+		}
+		req, ok := reqAt[e.arg]
+		if !ok {
+			continue
+		}
+		if !started[e.arg] {
+			started[e.arg] = true
+			flows = append(flows, event{tid: req.tid, ts: req.ts, dur: durFlow, arg: e.arg, flow: flowStart})
+		}
+		flows = append(flows, event{tid: e.tid, ts: e.ts, dur: durFlow, arg: e.arg, flow: flowFinish})
+	}
+	return flows
+}
+
 func (t *Tracer) Export(w io.Writer) error {
 	evs := t.events()
+	evs = append(evs, flowEvents(evs)...)
 	sort.Slice(evs, func(i, j int) bool {
 		a, b := evs[i], evs[j]
 		if a.tid != b.tid {
@@ -80,6 +133,8 @@ func (t *Tracer) Export(w io.Writer) error {
 		TS   float64        `json:"ts"`
 		Dur  float64        `json:"dur,omitempty"`
 		S    string         `json:"s,omitempty"`
+		ID   int64          `json:"id,omitempty"`
+		BP   string         `json:"bp,omitempty"`
 		Args map[string]any `json:"args,omitempty"`
 	}
 	out := struct {
@@ -99,7 +154,10 @@ func (t *Tracer) Export(w io.Writer) error {
 		}
 		seen[e.tid] = true
 		name := fmt.Sprintf("worker %d", e.tid)
-		if e.tid >= laneBase {
+		switch {
+		case e.tid >= reqLaneBase:
+			name = fmt.Sprintf("request %d", e.tid-reqLaneBase)
+		case e.tid >= laneBase:
 			name = fmt.Sprintf("call %d", e.tid-laneBase)
 		}
 		out.TraceEvents = append(out.TraceEvents, jsonEvent{
@@ -108,6 +166,19 @@ func (t *Tracer) Export(w io.Writer) error {
 		})
 	}
 	for _, e := range evs {
+		if e.flow != 0 {
+			je := jsonEvent{
+				Name: flowName, Cat: "recmat", Pid: 1, Tid: e.tid,
+				TS: float64(e.ts) / 1e3, ID: e.arg,
+			}
+			if e.flow == flowStart {
+				je.Ph = "s"
+			} else {
+				je.Ph, je.BP = "f", "e"
+			}
+			out.TraceEvents = append(out.TraceEvents, je)
+			continue
+		}
 		je := jsonEvent{
 			Name: e.kind.String(), Cat: "recmat", Pid: 1, Tid: e.tid,
 			TS: float64(e.ts) / 1e3,

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the SLO flight recorder: an always-armed, low-overhead
+// tracer window plus the recent-request ledger ring, snapshotted to
+// disk as an evidence bundle the moment a burn-rate monitor (or an
+// operator via /debug/flightz) asks for one. The point is that tail
+// diagnostics are only useful if the evidence from *before* the
+// trigger still exists — so the tracer and ledger ring run
+// continuously with bounded memory, and a dump is just an atomic
+// materialization of what is already in RAM.
+
+// ErrDumpSuppressed marks a Dump call rate-limited by MinInterval.
+var ErrDumpSuppressed = errors.New("obs: flight dump suppressed by rate limit")
+
+// FlightConfig configures a FlightRecorder.
+type FlightConfig struct {
+	// SpoolDir is where bundles are written; created if missing.
+	SpoolDir string
+	// Ring is the request-ledger ring included in bundles (optional).
+	Ring *LedgerRing
+	// Metrics is the registry snapshotted into bundles (optional).
+	Metrics *Registry
+	// TracerWorkers sizes the armed tracer (engine worker count).
+	TracerWorkers int
+	// TracerRing is the per-ring event capacity of the armed tracer;
+	// <= 0 selects a small window (4096 events/ring) so the always-on
+	// recorder stays a fraction of DefaultRingCap's footprint.
+	TracerRing int
+	// MinInterval rate-limits automatic dumps; <= 0 means 1 minute.
+	MinInterval time.Duration
+	// MaxBundles prunes the oldest spool bundles beyond this count;
+	// <= 0 keeps 8.
+	MaxBundles int
+	// LedgerTail caps how many recent ledgers a bundle includes;
+	// <= 0 includes the whole ring.
+	LedgerTail int
+}
+
+// FlightRecorder owns the armed tracer window and writes dump bundles.
+// Create with NewFlightRecorder, release the tracer slot with Close.
+type FlightRecorder struct {
+	cfg        FlightConfig
+	tracer     *Tracer // nil when the global tracer slot was taken
+	mu         sync.Mutex
+	lastDump   time.Time
+	seq        atomic.Int64
+	dumps      atomic.Int64
+	suppressed atomic.Int64
+}
+
+// NewFlightRecorder arms a recorder: it allocates a small tracer and
+// installs it in the process-global slot. If another tracer is already
+// active (an explicit EnableTracing run), the recorder still works —
+// bundles just omit the trace slice — since stealing the slot from an
+// operator-requested trace would be worse.
+func NewFlightRecorder(cfg FlightConfig) (*FlightRecorder, error) {
+	if cfg.SpoolDir == "" {
+		return nil, errors.New("obs: FlightConfig.SpoolDir is required")
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating spool dir: %w", err)
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = time.Minute
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 8
+	}
+	if cfg.TracerRing <= 0 {
+		cfg.TracerRing = 1 << 12
+	}
+	f := &FlightRecorder{cfg: cfg}
+	t := NewTracer(cfg.TracerWorkers, cfg.TracerRing)
+	if Install(t) == nil {
+		f.tracer = t
+	}
+	return f, nil
+}
+
+// Close releases the armed tracer's global slot.
+func (f *FlightRecorder) Close() {
+	if f.tracer != nil {
+		Uninstall(f.tracer)
+	}
+}
+
+// Armed reports whether the recorder owns the active tracer window.
+func (f *FlightRecorder) Armed() bool { return f.tracer != nil }
+
+// Dumps returns how many bundles were written; Suppressed how many
+// automatic dump requests the rate limit swallowed.
+func (f *FlightRecorder) Dumps() int64      { return f.dumps.Load() }
+func (f *FlightRecorder) Suppressed() int64 { return f.suppressed.Load() }
+
+// Dump writes one evidence bundle and returns its directory name.
+// Automatic callers (force=false) are rate-limited to one bundle per
+// MinInterval — a sustained burn produces one bundle, not a spool
+// flood; suppressed calls return ErrDumpSuppressed. Manual triggers
+// (force=true) bypass the limit. The bundle is staged in a temp dir
+// and renamed into place, so a reader never sees a half-written one.
+func (f *FlightRecorder) Dump(reason string, force bool) (string, error) {
+	f.mu.Lock()
+	now := time.Now()
+	if !force && f.lastDump.After(now.Add(-f.cfg.MinInterval)) {
+		f.mu.Unlock()
+		f.suppressed.Add(1)
+		return "", ErrDumpSuppressed
+	}
+	f.lastDump = now
+	seq := f.seq.Add(1)
+	f.mu.Unlock()
+
+	name := fmt.Sprintf("flight-%s-%03d-%s", now.UTC().Format("20060102T150405Z"), seq, sanitizeReason(reason))
+	tmp, err := os.MkdirTemp(f.cfg.SpoolDir, ".tmp-"+name+"-")
+	if err != nil {
+		return "", fmt.Errorf("obs: staging bundle: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	if f.tracer != nil {
+		if err := writeFileWith(filepath.Join(tmp, "trace.json"), f.tracer.Export); err != nil {
+			return "", err
+		}
+	}
+	if f.cfg.Metrics != nil {
+		if err := writeJSON(filepath.Join(tmp, "metrics.json"), f.cfg.Metrics.Snapshot()); err != nil {
+			return "", err
+		}
+	}
+	if f.cfg.Ring != nil {
+		if err := writeJSON(filepath.Join(tmp, "ledgers.json"), f.cfg.Ring.Recent(f.cfg.LedgerTail)); err != nil {
+			return "", err
+		}
+	}
+	if err := writeFileWith(filepath.Join(tmp, "goroutines.txt"), func(w io.Writer) error {
+		return pprof.Lookup("goroutine").WriteTo(w, 1)
+	}); err != nil {
+		return "", err
+	}
+	meta := map[string]any{
+		"reason": reason,
+		"time":   now.UTC().Format(time.RFC3339Nano),
+		"seq":    seq,
+		"forced": force,
+		"armed":  f.tracer != nil,
+	}
+	if f.tracer != nil {
+		meta["trace_drops"] = f.tracer.Drops()
+	}
+	if f.cfg.Ring != nil {
+		meta["ledgers_total"] = f.cfg.Ring.Total()
+	}
+	if err := writeJSON(filepath.Join(tmp, "meta.json"), meta); err != nil {
+		return "", err
+	}
+
+	final := filepath.Join(f.cfg.SpoolDir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("obs: publishing bundle: %w", err)
+	}
+	f.dumps.Add(1)
+	f.prune()
+	return name, nil
+}
+
+// List returns the spool's bundle names, oldest first (the timestamped
+// names sort chronologically).
+func (f *FlightRecorder) List() []string {
+	ents, err := os.ReadDir(f.cfg.SpoolDir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() && len(e.Name()) > 7 && e.Name()[:7] == "flight-" {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// prune removes the oldest bundles beyond MaxBundles.
+func (f *FlightRecorder) prune() {
+	names := f.List()
+	for len(names) > f.cfg.MaxBundles {
+		os.RemoveAll(filepath.Join(f.cfg.SpoolDir, names[0]))
+		names = names[1:]
+	}
+}
+
+func sanitizeReason(r string) string {
+	if r == "" {
+		return "manual"
+	}
+	b := []byte(r)
+	for i, c := range b {
+		ok := c == '-' || c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	if len(b) > 32 {
+		b = b[:32]
+	}
+	return string(b)
+}
+
+func writeJSON(path string, v any) error {
+	return writeFileWith(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(v)
+	})
+}
+
+func writeFileWith(path string, fill func(io.Writer) error) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating %s: %w", filepath.Base(path), err)
+	}
+	if err := fill(fd); err != nil {
+		fd.Close()
+		return fmt.Errorf("obs: writing %s: %w", filepath.Base(path), err)
+	}
+	return fd.Close()
+}

@@ -163,11 +163,81 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank, the standard Prometheus histogram_quantile estimate. The first
+// bucket interpolates from 0, and ranks landing in the overflow bucket
+// return the last bound (the estimate is clamped to the observable
+// range). An empty histogram returns 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, b := range h.Bounds {
+		prev := cum
+		cum += h.Counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if h.Counts[i] == 0 {
+				return b
+			}
+			frac := (rank - float64(prev)) / float64(h.Counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Sub returns the histogram delta h − prev: the observations recorded
+// between prev's snapshot and h's. Mismatched bounds (a histogram
+// recreated with a different shape) yield h unchanged, and counters
+// that regressed clamp to zero rather than going negative.
+func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Bounds) != len(h.Bounds) || len(prev.Counts) != len(h.Counts) {
+		return h
+	}
+	d := HistogramSnapshot{
+		Count:  h.Count - prev.Count,
+		Sum:    h.Sum - prev.Sum,
+		Bounds: h.Bounds,
+		Counts: make([]int64, len(h.Counts)),
+	}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	for i := range h.Counts {
+		if c := h.Counts[i] - prev.Counts[i]; c > 0 {
+			d.Counts[i] = c
+		}
+	}
+	return d
+}
+
 // Snapshot is a point-in-time copy of a whole registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Quantile estimates the q-quantile of the named histogram, or 0 when
+// the snapshot has no histogram of that name.
+func (s Snapshot) Quantile(name string, q float64) float64 {
+	return s.Histograms[name].Quantile(q)
 }
 
 // Snapshot copies every metric. It is safe to call concurrently with

@@ -82,6 +82,21 @@ const (
 	KindArenaFallback
 	// KindDegrade marks one graceful-degradation decision (instant).
 	KindDegrade
+	// KindRequest is one whole served request on a request lane; its
+	// arg is the request's trace serial, the join key flow events use
+	// to link the request to the wave items it rode.
+	KindRequest
+	// KindQueueWait is a request's admission-queue wait phase.
+	KindQueueWait
+	// KindGather is a coalesced request's wave-gathering phase: the
+	// window between joining a coalesce group and the wave launching.
+	KindGather
+	// KindSerialize is a request's response-serialization phase.
+	KindSerialize
+	// KindWaveItem is one request's slice of a batched engine call,
+	// recorded on the worker track that executed it; arg is the
+	// owning request's trace serial (0 for unattributed items).
+	KindWaveItem
 	numKinds
 )
 
@@ -103,6 +118,11 @@ var kindNames = [numKinds]string{
 	KindArena:         "arena-reserve",
 	KindArenaFallback: "arena-fallback",
 	KindDegrade:       "degrade",
+	KindRequest:       "request",
+	KindQueueWait:     "queue-wait",
+	KindGather:        "coalesce-gather",
+	KindSerialize:     "serialize",
+	KindWaveItem:      "wave-item",
 }
 
 // String returns the event name used in the Chrome trace.
@@ -134,6 +154,12 @@ const durInstant = int64(-1)
 // laneBase offsets caller-lane tids away from worker ids so that each
 // concurrent driver call renders as its own well-nested track.
 const laneBase = 1000
+
+// reqLaneBase offsets request-lane tids above caller lanes: a served
+// request gets its own track carrying the KindRequest span and its
+// phase children, distinct from the engine-call lane the request's
+// compute ran on.
+const reqLaneBase = 1 << 20
 
 // slot is one ring entry. Every field is atomic: claims are made with
 // a fetch-add on the ring's pos, so two writers can collide on a slot
@@ -186,6 +212,7 @@ type Tracer struct {
 	start   time.Time
 	rings   []ring // rings[0]: caller lanes; rings[1+i]: worker i
 	laneSeq atomic.Int64
+	reqSeq  atomic.Int64
 }
 
 // NewTracer allocates a tracer for a pool of the given size. perRing
@@ -280,6 +307,14 @@ func (t *Tracer) NewLane() int32 {
 	return laneBase + int32(t.laneSeq.Add(1)) - 1
 }
 
+// NewRequestLane allocates a request track: one per served request,
+// rendered as "request N" and carrying the KindRequest span plus its
+// phase children. Request lanes share the caller ring with engine-call
+// lanes; only the tid range differs.
+func (t *Tracer) NewRequestLane() int32 {
+	return reqLaneBase + int32(t.reqSeq.Add(1)) - 1
+}
+
 // LaneSpan records a completed span on a caller lane.
 func (t *Tracer) LaneSpan(lane int32, k Kind, start time.Time, dur time.Duration, arg int64) {
 	t.rings[0].put(int64(start.Sub(t.start)), int64(dur), arg, lane, k)
@@ -289,6 +324,16 @@ func (t *Tracer) LaneSpan(lane int32, k Kind, start time.Time, dur time.Duration
 func (t *Tracer) LaneInstant(lane int32, k Kind, arg int64) {
 	t.rings[0].put(int64(time.Since(t.start)), durInstant, arg, lane, k)
 }
+
+// traceSerial allocates process-global request trace serials. The
+// serial is the int64 join key written as the arg of a request's
+// KindRequest span and of every KindWaveItem event attributed to it;
+// it is process-global (not per-tracer) so a serial minted before a
+// flight-recorder tracer was armed still correlates inside its window.
+var traceSerial atomic.Int64
+
+// NextTraceSerial returns a fresh non-zero request trace serial.
+func NextTraceSerial() int64 { return traceSerial.Add(1) }
 
 // Drops returns the number of events lost to ring wraparound. The
 // rings overwrite the oldest events rather than blocking a worker, so

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a registry Snapshot in the OpenMetrics text
+// exposition format (the Prometheus scrape format), so recmatd's
+// /metricz is consumable by standard scrapers with zero dependencies:
+// counters as <name>_total, gauges as levels, histograms as cumulative
+// <name>_bucket{le="..."} series with _sum/_count, each family with
+// # TYPE/# HELP metadata and the exposition terminated by # EOF. The
+// matching LintOpenMetrics parser is the conformance check shared by
+// unit tests and the Makefile omcheck target.
+
+// omName sanitizes a registry metric name into a legal OpenMetrics
+// metric name ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func omName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// omFloat formats a sample value; OpenMetrics uses Go-style shortest
+// float text with +Inf spelled exactly so.
+func omFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics writes the snapshot in OpenMetrics text format.
+// Families are sorted by name so the exposition is deterministic.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	cnames := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, n := range cnames {
+		fam := omName(n)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(bw, "# HELP %s Cumulative count of %s events.\n", fam, n)
+		fmt.Fprintf(bw, "%s_total %d\n", fam, s.Counters[n])
+	}
+
+	gnames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fam := omName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(bw, "# HELP %s Current level of %s.\n", fam, n)
+		fmt.Fprintf(bw, "%s %d\n", fam, s.Gauges[n])
+	}
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		fam := omName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		fmt.Fprintf(bw, "# HELP %s Distribution of %s observations.\n", fam, n)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", fam, omFloat(b), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", fam, omFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", fam, h.Count)
+	}
+
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// OMStats summarizes a linted exposition.
+type OMStats struct {
+	Families   int
+	Samples    int
+	Histograms int
+}
+
+var omNameOK = func(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// LintOpenMetrics validates data against the OpenMetrics text format
+// contract this package emits: # TYPE metadata before a family's
+// samples, legal metric names, parseable sample values, counter
+// samples suffixed _total, histogram families with monotone cumulative
+// buckets whose +Inf bucket equals _count, and a terminal # EOF. It is
+// deliberately a strict subset of the spec — enough for a scraper to
+// ingest the exposition — and returns what it saw.
+func LintOpenMetrics(data []byte) (OMStats, error) {
+	var st OMStats
+	types := map[string]string{} // family → type
+	// histogram family accumulation for the cumulative-bucket check
+	lastBucketCum := map[string]int64{}
+	lastBucketLe := map[string]float64{}
+	infBucket := map[string]int64{}
+	histCount := map[string]int64{}
+	sawEOF := false
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return st, fmt.Errorf("obs: line %d: content after # EOF", lineNo)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "EOF" {
+				sawEOF = true
+				continue
+			}
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				fam, typ := fields[2], fields[3]
+				if !omNameOK(fam) {
+					return st, fmt.Errorf("obs: line %d: illegal family name %q", lineNo, fam)
+				}
+				if _, dup := types[fam]; dup {
+					return st, fmt.Errorf("obs: line %d: duplicate # TYPE for %q", lineNo, fam)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return st, fmt.Errorf("obs: line %d: unsupported type %q", lineNo, typ)
+				}
+				types[fam] = typ
+				st.Families++
+				if typ == "histogram" {
+					st.Histograms++
+				}
+			}
+			// # HELP and other comments pass through.
+			continue
+		}
+		// Sample line: name[{labels}] value
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return st, fmt.Errorf("obs: line %d: malformed labels", lineNo)
+			}
+			name, labels = line[:i], line[i+1:j]
+			line = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return st, fmt.Errorf("obs: line %d: sample has no value", lineNo)
+		}
+		name = fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !omNameOK(name) {
+			return st, fmt.Errorf("obs: line %d: illegal metric name %q", lineNo, name)
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return st, fmt.Errorf("obs: line %d: unparseable value %q", lineNo, fields[1])
+		}
+		// Resolve the sample to its family and check the suffix contract.
+		fam, suffix := name, ""
+		for _, s := range [...]string{"_total", "_bucket", "_sum", "_count", "_created"} {
+			if strings.HasSuffix(name, s) {
+				if f := strings.TrimSuffix(name, s); types[f] != "" {
+					fam, suffix = f, s
+					break
+				}
+			}
+		}
+		typ, known := types[fam]
+		if !known {
+			return st, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		switch typ {
+		case "counter":
+			if suffix != "_total" && suffix != "_created" {
+				return st, fmt.Errorf("obs: line %d: counter sample %q must end in _total", lineNo, name)
+			}
+			if val < 0 {
+				return st, fmt.Errorf("obs: line %d: counter %q is negative", lineNo, name)
+			}
+		case "gauge":
+			if suffix != "" {
+				return st, fmt.Errorf("obs: line %d: gauge sample %q has unexpected suffix", lineNo, name)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				le := ""
+				for _, kv := range strings.Split(labels, ",") {
+					if k, v, ok := strings.Cut(kv, "="); ok && k == "le" {
+						le = strings.Trim(v, `"`)
+					}
+				}
+				if le == "" {
+					return st, fmt.Errorf("obs: line %d: histogram bucket %q has no le label", lineNo, name)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return st, fmt.Errorf("obs: line %d: unparseable le %q", lineNo, le)
+					}
+				}
+				if prev, ok := lastBucketLe[fam]; ok && bound <= prev {
+					return st, fmt.Errorf("obs: line %d: %s buckets not in increasing le order", lineNo, fam)
+				}
+				if int64(val) < lastBucketCum[fam] {
+					return st, fmt.Errorf("obs: line %d: %s bucket counts not cumulative", lineNo, fam)
+				}
+				lastBucketLe[fam] = bound
+				lastBucketCum[fam] = int64(val)
+				if math.IsInf(bound, 1) {
+					infBucket[fam] = int64(val)
+				}
+			case "_sum":
+			case "_count":
+				histCount[fam] = int64(val)
+			default:
+				return st, fmt.Errorf("obs: line %d: unexpected histogram sample %q", lineNo, name)
+			}
+		}
+		st.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("obs: scanning exposition: %w", err)
+	}
+	if !sawEOF {
+		return st, fmt.Errorf("obs: exposition missing terminal # EOF")
+	}
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		inf, ok := infBucket[fam]
+		if !ok {
+			return st, fmt.Errorf("obs: histogram %s has no +Inf bucket", fam)
+		}
+		if cnt, ok := histCount[fam]; ok && cnt != inf {
+			return st, fmt.Errorf("obs: histogram %s +Inf bucket %d != count %d", fam, inf, cnt)
+		}
+	}
+	return st, nil
+}

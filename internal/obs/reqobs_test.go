@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	// 100 observations uniform in (0, 1]: every quantile lands in the
+	// first bucket and interpolates from 0.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := r.Snapshot()
+	if q := s.Quantile("lat", 0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Fatalf("p50 of uniform(0,1] = %g, want 0.5", q)
+	}
+	if q := s.Quantile("lat", 1); math.Abs(q-1) > 1e-9 {
+		t.Fatalf("p100 = %g, want 1", q)
+	}
+	// Add 100 observations at 3: p75 should now be inside (2,4].
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	s = r.Snapshot()
+	q := s.Quantile("lat", 0.75)
+	if q <= 2 || q > 4 {
+		t.Fatalf("p75 = %g, want in (2,4]", q)
+	}
+	// Overflow rank clamps to the last bound.
+	h.Observe(100)
+	s = r.Snapshot()
+	if q := s.Quantile("lat", 1); q != 8 {
+		t.Fatalf("overflow quantile = %g, want last bound 8", q)
+	}
+	// Unknown name and empty histogram are 0.
+	if q := s.Quantile("nope", 0.9); q != 0 {
+		t.Fatalf("unknown histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", SecondsBuckets)
+	h.Observe(0.002)
+	h.Observe(0.002)
+	prev := r.Snapshot().Histograms["lat"]
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	d := r.Snapshot().Histograms["lat"].Sub(prev)
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if q := d.Quantile(0.5); q <= 0.3 || q > 1 {
+		t.Fatalf("delta p50 = %g, want in (0.3, 1] (only the 0.5s are in the window)", q)
+	}
+	// Mismatched shapes fall back to h.
+	odd := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{0, 0}}
+	if got := d.Sub(odd); got.Count != d.Count {
+		t.Fatalf("mismatched Sub should return receiver unchanged")
+	}
+}
+
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total_served").Add(7)
+	r.Gauge("queue_depth").Set(3)
+	h := r.Histogram("request_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.004)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE requests_total_served counter",
+		"requests_total_served_total 7",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+		"# TYPE request_seconds histogram",
+		`request_seconds_bucket{le="0.01"} 1`,
+		`request_seconds_bucket{le="0.1"} 2`,
+		`request_seconds_bucket{le="1"} 2`,
+		`request_seconds_bucket{le="+Inf"} 3`,
+		"request_seconds_count 3",
+		"# EOF",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	st, err := LintOpenMetrics(buf.Bytes())
+	if err != nil {
+		t.Fatalf("LintOpenMetrics rejected our own exposition: %v\n%s", err, text)
+	}
+	if st.Families != 3 || st.Histograms != 1 {
+		t.Fatalf("lint stats = %+v, want 3 families / 1 histogram", st)
+	}
+}
+
+func TestLintOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":      "# TYPE a counter\na_total 1\n",
+		"no TYPE":          "a_total 1\n# EOF\n",
+		"bad counter name": "# TYPE a counter\na 1\n# EOF\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n",
+		"no inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n# EOF\n",
+		"inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n# EOF\n",
+		"bad value": "# TYPE a gauge\na xyz\n# EOF\n",
+	}
+	for name, text := range cases {
+		if _, err := LintOpenMetrics([]byte(text)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", name, text)
+		}
+	}
+}
+
+func TestLedgerRing(t *testing.T) {
+	r := NewLedgerRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Record(Ledger{Trace: int64(i), Outcome: "ok"})
+	}
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", r.Total())
+	}
+	got := r.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("Recent(0) returned %d ledgers, want 4", len(got))
+	}
+	for i, want := range []int64{6, 5, 4, 3} {
+		if got[i].Trace != want {
+			t.Fatalf("Recent[%d].Trace = %d, want %d (newest first)", i, got[i].Trace, want)
+		}
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0].Trace != 6 {
+		t.Fatalf("Recent(2) = %+v, want traces [6 5]", got)
+	}
+}
+
+func TestRequestLaneFlowExport(t *testing.T) {
+	tr := NewTracer(2, 64)
+	serialA, serialB := NextTraceSerial(), NextTraceSerial()
+	t0 := tr.start
+
+	// Two request lanes, one shared wave: both requests' wave items run
+	// on worker tracks carrying the requests' serials as args.
+	laneA, laneB := tr.NewRequestLane(), tr.NewRequestLane()
+	tr.LaneSpan(laneA, KindRequest, t0, 10*time.Millisecond, serialA)
+	tr.LaneSpan(laneB, KindRequest, t0.Add(time.Millisecond), 9*time.Millisecond, serialB)
+	tr.Span(0, KindWaveItem, t0.Add(2*time.Millisecond), 3*time.Millisecond, serialA)
+	tr.Span(1, KindWaveItem, t0.Add(2*time.Millisecond), 3*time.Millisecond, serialB)
+	// An unmatched wave item (owner's request span lost to wraparound)
+	// must not emit a dangling flow.
+	tr.Span(0, KindWaveItem, t0.Add(6*time.Millisecond), time.Millisecond, 999999)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	sum, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace with flows failed validation: %v\n%s", err, buf.String())
+	}
+	if sum.Flows != 4 {
+		t.Fatalf("Flows = %d, want 4 (2 starts + 2 finishes)", sum.Flows)
+	}
+	if sum.FlowLinks != 2 {
+		t.Fatalf("FlowLinks = %d, want 2 linked requests", sum.FlowLinks)
+	}
+	if sum.RequestTracks != 2 {
+		t.Fatalf("RequestTracks = %d, want 2", sum.RequestTracks)
+	}
+	if sum.ByName["request"] != 2 || sum.ByName["wave-item"] != 3 {
+		t.Fatalf("ByName = %v, want 2 request spans and 3 wave items", sum.ByName)
+	}
+	// The request lanes must be named "request N" in the metadata.
+	var raw struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	reqLanes := 0
+	for _, e := range raw.TraceEvents {
+		if e.Ph == "M" && strings.HasPrefix(e.Args.Name, "request ") {
+			reqLanes++
+		}
+	}
+	if reqLanes != 2 {
+		t.Fatalf("found %d request-lane name records, want 2", reqLanes)
+	}
+}
+
+func TestFlowValidationCatchesDangling(t *testing.T) {
+	trace := `{"traceEvents":[
+		{"name":"a","ph":"X","tid":1,"ts":0,"dur":5},
+		{"name":"req-flow","ph":"s","tid":1,"ts":0,"id":7}
+	]}`
+	if _, err := ValidateChromeTrace([]byte(trace)); err == nil {
+		t.Fatal("validator accepted a flow start with no finish")
+	}
+	trace = `{"traceEvents":[
+		{"name":"a","ph":"X","tid":1,"ts":0,"dur":5},
+		{"name":"req-flow","ph":"f","bp":"e","tid":1,"ts":1,"id":7}
+	]}`
+	if _, err := ValidateChromeTrace([]byte(trace)); err == nil {
+		t.Fatal("validator accepted a flow finish with no start")
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.Counter("requests").Add(3)
+	reg.Histogram("request_seconds", SecondsBuckets).Observe(0.01)
+	ring := NewLedgerRing(8)
+	ring.Record(Ledger{ID: "req-1", Trace: 42, Tenant: "t0", Outcome: "ok", TotalNS: 1000})
+
+	fr, err := NewFlightRecorder(FlightConfig{
+		SpoolDir:    dir,
+		Ring:        ring,
+		Metrics:     reg,
+		MinInterval: time.Hour,
+		MaxBundles:  2,
+	})
+	if err != nil {
+		t.Fatalf("NewFlightRecorder: %v", err)
+	}
+	defer fr.Close()
+	if !fr.Armed() {
+		t.Fatal("recorder failed to arm its tracer")
+	}
+	// Record something into the armed window so trace.json has content.
+	cur := Cur()
+	if cur == nil {
+		t.Fatal("armed tracer is not the current tracer")
+	}
+	lane := cur.NewRequestLane()
+	cur.LaneSpan(lane, KindRequest, time.Now(), time.Millisecond, 42)
+
+	name, err := fr.Dump("slo-burn", false)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	// Second automatic dump inside MinInterval is suppressed...
+	if _, err := fr.Dump("slo-burn", false); err != ErrDumpSuppressed {
+		t.Fatalf("second dump err = %v, want ErrDumpSuppressed", err)
+	}
+	if fr.Suppressed() != 1 {
+		t.Fatalf("Suppressed = %d, want 1", fr.Suppressed())
+	}
+	// ...but a forced (manual) dump is not.
+	if _, err := fr.Dump("manual", true); err != nil {
+		t.Fatalf("forced dump: %v", err)
+	}
+	if fr.Dumps() != 2 {
+		t.Fatalf("Dumps = %d, want 2", fr.Dumps())
+	}
+
+	// The bundle is complete: trace slice, metrics, ledgers, goroutines.
+	bundle := filepath.Join(dir, name)
+	for _, f := range []string{"trace.json", "metrics.json", "ledgers.json", "goroutines.txt", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+	traceData, err := os.ReadFile(filepath.Join(bundle, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(traceData); err != nil {
+		t.Fatalf("bundle trace.json invalid: %v", err)
+	}
+	var leds []Ledger
+	data, _ := os.ReadFile(filepath.Join(bundle, "ledgers.json"))
+	if err := json.Unmarshal(data, &leds); err != nil {
+		t.Fatalf("ledgers.json: %v", err)
+	}
+	if len(leds) != 1 || leds[0].ID != "req-1" {
+		t.Fatalf("ledgers.json = %+v, want the one recorded ledger", leds)
+	}
+	var snap Snapshot
+	data, _ = os.ReadFile(filepath.Join(bundle, "metrics.json"))
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if snap.Counters["requests"] != 3 {
+		t.Fatalf("metrics.json counters = %v, want requests=3", snap.Counters)
+	}
+
+	// Retention: a third forced dump prunes the oldest beyond MaxBundles.
+	if _, err := fr.Dump("manual", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fr.List()); got != 2 {
+		t.Fatalf("spool holds %d bundles after prune, want 2", got)
+	}
+}

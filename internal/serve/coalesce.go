@@ -40,6 +40,21 @@ type cmember struct {
 	resp   *Response
 	err    error
 	done   chan struct{}
+	// rs is the member's request-observability state; the wave fills its
+	// ledger (queue, gather, the SHARED compute wall) and stamps its
+	// trace serial on the member's wave item before settling. joined is
+	// when the member entered the coalescer — the start of its gather
+	// phase.
+	rs     *reqState
+	joined time.Time
+}
+
+// trace returns the member's trace serial (0 when untraced).
+func (m *cmember) trace() int64 {
+	if m.rs == nil {
+		return 0
+	}
+	return m.rs.trace
 }
 
 // cwave is one open coalescing group: the members accumulated while the
@@ -115,8 +130,8 @@ func coalesceKey(req *Request, lay recmat.Layout, alg recmat.Algorithm) string {
 // do runs one request through the coalescing path and blocks until its
 // wave settles it. The member's handler keeps its own gate entry and
 // quota reservation; only the leader touches the admission queue.
-func (co *coalescer) do(rctx context.Context, req *Request, budget int64, lay recmat.Layout) (*Response, error) {
-	m := &cmember{req: req, budget: budget, rctx: rctx, done: make(chan struct{})}
+func (co *coalescer) do(rctx context.Context, req *Request, budget int64, lay recmat.Layout, rs *reqState) (*Response, error) {
+	m := &cmember{req: req, budget: budget, rctx: rctx, done: make(chan struct{}), rs: rs, joined: time.Now()}
 	alg, err := resolveReqAlg(req, lay)
 	if err != nil {
 		return nil, err
@@ -213,7 +228,8 @@ func (co *coalescer) solo(m *cmember, queueWait time.Duration) {
 	}
 	tctx, tcancel := context.WithTimeout(ctx, deadline)
 	defer tcancel()
-	resp, err := s.compute(tctx, m.req, m.budget)
+	m.rs.phaseAt(obs.PhaseQueue, obs.KindQueueWait, time.Now().Add(-queueWait), queueWait)
+	resp, err := s.compute(tctx, m.req, m.budget, m.rs)
 	if err != nil {
 		co.settle(m, nil, err)
 		return
@@ -241,6 +257,16 @@ func (co *coalescer) settle(m *cmember, resp *Response, err error) {
 // injected into one member's materialization) settle only that member.
 func (co *coalescer) executeWave(lay recmat.Layout, members []*cmember, queueWait time.Duration) {
 	req0 := members[0].req
+
+	// Attribution: each member's gather phase runs from its join to the
+	// wave's start. For a wave member the admission wait IS the batching
+	// window (the leader queued on everyone's behalf), so gather subsumes
+	// it and PhaseQueue stays 0 — phases remain disjoint. Response.QueueNS
+	// still reports the shared admission wait below.
+	waveStart := time.Now()
+	for _, m := range members {
+		m.rs.phaseAt(obs.PhaseGather, obs.KindGather, m.joined, waveStart.Sub(m.joined))
+	}
 
 	// The wave's own lifetime: detached from any single member (a
 	// leader whose client disconnects must not abort its siblings),
@@ -335,6 +361,7 @@ func (co *coalescer) executeWave(lay recmat.Layout, members []*cmember, queueWai
 			Cs[i] = C
 			items = append(items, recmat.PrepackedGEMMBatchItem{
 				Alpha: m.req.alpha(), Beta: m.req.Beta, B: B, C: C, Ctx: ictx,
+				TraceID: m.trace(),
 			})
 			idx = append(idx, i)
 		}()
@@ -351,7 +378,9 @@ func (co *coalescer) executeWave(lay recmat.Layout, members []*cmember, queueWai
 	}
 
 	if len(items) > 0 {
+		tCall := time.Now()
 		bs, errs, werr := co.s.eng.GEMMPrepackedBatch(wctx, ent.Plan(), items, opts)
+		wall := time.Since(tCall)
 		if werr != nil {
 			for _, i := range idx {
 				co.settle(members[i], nil, werr)
@@ -368,6 +397,13 @@ func (co *coalescer) executeWave(lay recmat.Layout, members []*cmember, queueWai
 				if errs[j] != nil {
 					co.settle(m, nil, errs[j])
 					continue
+				}
+				// The ledger records the SHARED wave compute wall (every
+				// member the same value — the wave is indivisible evidence),
+				// unlike the response's amortized per-member share below.
+				m.rs.phase(obs.PhaseCompute, bs.Compute)
+				if m.rs != nil && m.rs.tr != nil {
+					m.rs.tr.LaneSpan(m.rs.lane, obs.KindCompute, tCall, wall, 0)
 				}
 				resp := &Response{
 					Tenant: m.req.Tenant, M: m.req.M, K: m.req.K, N: m.req.N,

@@ -76,8 +76,74 @@ type Summary struct {
 	Degraded   int `json:"degraded"`
 	PlanCached int `json:"plan_cached"`
 	Coalesced  int `json:"coalesced"`
+	// Attribution is the per-phase latency breakdown aggregated from the
+	// servers' Response.Timing objects (keyed by phase name), answering
+	// "where did the run's latency go" server-side — queue vs gather vs
+	// compute — independent of client-observed wall time.
+	Attribution map[string]PhaseAttribution `json:"attribution,omitempty"`
 
-	latencies []time.Duration // successful requests only
+	latencies []time.Duration            // successful requests only
+	phases    map[string][]time.Duration // per-phase server-side durations
+}
+
+// PhaseAttribution aggregates one server-side phase across the run's
+// successful responses. Share is this phase's fraction of all
+// attributed time (the shares sum to 1 across phases).
+type PhaseAttribution struct {
+	MeanNS int64   `json:"mean_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	Share  float64 `json:"share"`
+}
+
+// timingPhases flattens a response's timing object into named phases;
+// zero phases are dropped (a non-coalesced request has no gather, a
+// batched wave no pack/unpack).
+func timingPhases(tm *Timing) map[string]int64 {
+	if tm == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	for _, p := range [...]struct {
+		name string
+		ns   int64
+	}{
+		{"queue", tm.QueueNS}, {"gather", tm.GatherNS}, {"pack", tm.PackNS},
+		{"compute", tm.ComputeNS}, {"unpack", tm.UnpackNS},
+	} {
+		if p.ns > 0 {
+			out[p.name] = p.ns
+		}
+	}
+	return out
+}
+
+// finalizeAttribution folds the collected per-phase samples into the
+// Attribution map. Called once, after the workers stop.
+func (s *Summary) finalizeAttribution() {
+	if len(s.phases) == 0 {
+		return
+	}
+	var grand time.Duration
+	sums := map[string]time.Duration{}
+	for name, ds := range s.phases {
+		for _, d := range ds {
+			sums[name] += d
+		}
+		grand += sums[name]
+	}
+	s.Attribution = make(map[string]PhaseAttribution, len(s.phases))
+	for name, ds := range s.phases {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var share float64
+		if grand > 0 {
+			share = float64(sums[name]) / float64(grand)
+		}
+		s.Attribution[name] = PhaseAttribution{
+			MeanNS: int64(sums[name]) / int64(len(ds)),
+			P99NS:  int64(ds[int(0.99*float64(len(ds)-1))]),
+			Share:  share,
+		}
+	}
 }
 
 // QPS is successful requests per second over the run.
@@ -117,9 +183,25 @@ func (s *Summary) CoalesceRate() float64 {
 }
 
 func (s *Summary) String() string {
-	return fmt.Sprintf("total=%d ok=%d failed=%v qps=%.1f shed=%.1f%% p50=%v p99=%v degraded=%d cached=%d coalesced=%d",
+	base := fmt.Sprintf("total=%d ok=%d failed=%v qps=%.1f shed=%.1f%% p50=%v p99=%v degraded=%d cached=%d coalesced=%d",
 		s.Total, s.OK, s.Failed, s.QPS(), 100*s.ShedRate(),
 		s.Percentile(50), s.Percentile(99), s.Degraded, s.PlanCached, s.Coalesced)
+	if len(s.Attribution) > 0 {
+		names := make([]string, 0, len(s.Attribution))
+		for n := range s.Attribution {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return s.Attribution[names[i]].Share > s.Attribution[names[j]].Share })
+		base += " attr["
+		for i, n := range names {
+			if i > 0 {
+				base += " "
+			}
+			base += fmt.Sprintf("%s=%.0f%%", n, 100*s.Attribution[n].Share)
+		}
+		base += "]"
+	}
+	return base
 }
 
 // Run drives the daemon until ctx ends and returns the aggregate.
@@ -153,7 +235,7 @@ func (g *LoadGen) Run(ctx context.Context) *Summary {
 		seed = 1
 	}
 
-	sum := &Summary{Failed: map[string]int{}}
+	sum := &Summary{Failed: map[string]int{}, phases: map[string][]time.Duration{}}
 	var mu sync.Mutex
 	t0 := time.Now()
 	var wg sync.WaitGroup
@@ -193,6 +275,9 @@ func (g *LoadGen) Run(ctx context.Context) *Summary {
 					if resp.Coalesced {
 						sum.Coalesced++
 					}
+					for name, ns := range timingPhases(resp.Timing) {
+						sum.phases[name] = append(sum.phases[name], time.Duration(ns))
+					}
 				} else {
 					sum.Failed[failKind(err)]++
 				}
@@ -202,6 +287,7 @@ func (g *LoadGen) Run(ctx context.Context) *Summary {
 	}
 	wg.Wait()
 	sum.Duration = time.Since(t0)
+	sum.finalizeAttribution()
 	return sum
 }
 

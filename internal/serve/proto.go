@@ -87,6 +87,27 @@ type Response struct {
 	// Data is C in column-major order, only when ReturnData was set and
 	// M*N fits the server's echo cap.
 	Data []float64 `json:"data,omitempty"`
+	// RequestID echoes the request's correlation id (inbound
+	// X-Request-Id or traceparent trace-id, else server-generated); the
+	// same id names the request's lane in a trace and its ledger in a
+	// flight-recorder bundle.
+	RequestID string `json:"request_id,omitempty"`
+	// Timing is the per-request latency attribution ledger.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Timing is a response's phase attribution, in nanoseconds. Phases are
+// disjoint: queue wait (admission), gather (the coalesce window),
+// pack/compute/unpack (the engine call; batched waves fuse packing
+// into compute and report pack and unpack as 0). Serialization is
+// measured after the body is encoded, so it appears in the ledger,
+// histograms, and flight dumps rather than here.
+type Timing struct {
+	QueueNS   int64 `json:"queue_ns,omitempty"`
+	GatherNS  int64 `json:"gather_ns,omitempty"`
+	PackNS    int64 `json:"pack_ns,omitempty"`
+	ComputeNS int64 `json:"compute_ns,omitempty"`
+	UnpackNS  int64 `json:"unpack_ns,omitempty"`
 }
 
 // Error kinds: the closed set of strings ErrorInfo.Kind can carry.

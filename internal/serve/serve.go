@@ -20,8 +20,11 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -72,6 +75,34 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (startup,
 	// drain progress, the final metrics flush).
 	Logf func(format string, args ...any)
+
+	// FlightSpoolDir, when non-empty, arms the SLO flight recorder: a
+	// small always-on tracer window plus the request-ledger ring,
+	// dumped as an evidence bundle to this directory on SLO violation
+	// or manual trigger (/debug/flightz). Empty disables the recorder
+	// (and leaves the process-global tracer slot free for explicit
+	// EnableTracing runs).
+	FlightSpoolDir string
+	// FlightMinInterval rate-limits automatic dumps (0 = 1 minute).
+	FlightMinInterval time.Duration
+	// LedgerRing sizes the recent-request ledger ring (0 = 256).
+	LedgerRing int
+	// SLOObjective, when positive, starts the burn-rate monitor: the
+	// request-latency quantile (SLOQuantile, default p99) is estimated
+	// over a fast and a slow window, and when BOTH exceed the
+	// objective the flight recorder dumps a bundle. Requires
+	// FlightSpoolDir.
+	SLOObjective time.Duration
+	// SLOQuantile is the monitored quantile in (0, 1] (0 = 0.99).
+	SLOQuantile float64
+	// SLOFastWindow and SLOSlowWindow are the burn-rate windows
+	// (0 = 10s and 60s); SLOPoll is the sampling period (0 = 1s).
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
+	SLOPoll       time.Duration
+	// SLOMinSamples is the per-window sample floor below which no
+	// violation fires (0 = 20) — an idle server's noise is not a burn.
+	SLOMinSamples int64
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +148,30 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.FlightMinInterval <= 0 {
+		c.FlightMinInterval = time.Minute
+	}
+	if c.LedgerRing <= 0 {
+		c.LedgerRing = obs.DefaultLedgerCap
+	}
+	if c.SLOQuantile <= 0 || c.SLOQuantile > 1 {
+		c.SLOQuantile = 0.99
+	}
+	if c.SLOFastWindow <= 0 {
+		c.SLOFastWindow = 10 * time.Second
+	}
+	if c.SLOSlowWindow <= 0 {
+		c.SLOSlowWindow = time.Minute
+	}
+	if c.SLOSlowWindow < c.SLOFastWindow {
+		c.SLOSlowWindow = c.SLOFastWindow
+	}
+	if c.SLOPoll <= 0 {
+		c.SLOPoll = time.Second
+	}
+	if c.SLOMinSamples <= 0 {
+		c.SLOMinSamples = 20
+	}
 	return c
 }
 
@@ -144,6 +199,14 @@ type Server struct {
 	reqTotal   *obs.Counter
 	reqOK      *obs.Counter
 	reqSeconds *obs.Histogram
+
+	// Request-scoped observability: the ledger ring is always on (its
+	// cost is bounded by the obs-gate), the flight recorder and SLO
+	// monitor only when configured.
+	ledgers   *obs.LedgerRing
+	phaseHist [obs.NumReqPhases]*obs.Histogram
+	flight    *obs.FlightRecorder
+	slo       *sloMonitor
 }
 
 // New builds a Server and its engine. The engine's metrics registry is
@@ -163,14 +226,42 @@ func New(cfg Config) *Server {
 		reqTotal:   reg.Counter("requests_total"),
 		reqOK:      reg.Counter("requests_ok"),
 		reqSeconds: reg.Histogram("request_seconds", obs.SecondsBuckets),
+		ledgers:    obs.NewLedgerRing(cfg.LedgerRing),
+	}
+	for p := obs.ReqPhase(0); p < obs.NumReqPhases; p++ {
+		s.phaseHist[p] = reg.Histogram("req_phase_"+p.String()+"_seconds", obs.SecondsBuckets)
 	}
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
 	s.co = newCoalescer(s, cfg.MaxBatch)
+	if cfg.FlightSpoolDir != "" {
+		fr, err := obs.NewFlightRecorder(obs.FlightConfig{
+			SpoolDir:      cfg.FlightSpoolDir,
+			Ring:          s.ledgers,
+			Metrics:       reg,
+			TracerWorkers: cfg.Workers,
+			MinInterval:   cfg.FlightMinInterval,
+		})
+		if err != nil {
+			cfg.Logf("recmatd: flight recorder disabled: %v", err)
+		} else {
+			s.flight = fr
+			if !fr.Armed() {
+				cfg.Logf("recmatd: flight recorder running without a trace window (tracer slot taken)")
+			}
+			if cfg.SLOObjective > 0 {
+				s.slo = newSLOMonitor(s)
+				s.slo.start()
+			}
+		}
+	} else if cfg.SLOObjective > 0 {
+		cfg.Logf("recmatd: SLO monitor requires FlightSpoolDir; disabled")
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("/debug/flightz", s.handleFlightz)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	return s
 }
@@ -188,6 +279,17 @@ func (s *Server) Metrics() *recmat.Metrics { return s.reg }
 // name (visible at /debug/vars). expvar names are process-global and
 // permanent, so this can fail when the name is taken.
 func (s *Server) PublishExpvar(name string) error { return s.reg.Publish(name) }
+
+// FlightDumps reports how many flight bundles the SLO recorder has
+// written (0 when no spool directory is configured). Benchmarks record
+// it so a saturation sweep that tripped the burn-rate monitor is
+// visible on the committed record.
+func (s *Server) FlightDumps() int64 {
+	if s.flight == nil {
+		return 0
+	}
+	return s.flight.Dumps()
+}
 
 // inflightGate counts in-flight requests and coordinates the drain
 // handshake without the WaitGroup Add-vs-Wait race: enter refuses new
@@ -283,6 +385,12 @@ func (s *Server) Drain(ctx context.Context) error {
 			return fmt.Errorf("serve: drain: %d requests wedged past cancellation", s.gate.count())
 		}
 	}
+	if s.slo != nil {
+		s.slo.stop()
+	}
+	if s.flight != nil {
+		s.flight.Close()
+	}
 	if buf, err := json.Marshal(s.reg.Snapshot()); err == nil {
 		s.cfg.Logf("recmatd: final metrics: %s", buf)
 	}
@@ -310,9 +418,109 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleMetricz serves the registry snapshot. JSON stays the default
+// (the format every existing client and test expects); the OpenMetrics
+// text exposition is selected by a Prometheus-shaped Accept header or
+// an explicit ?format= query, so standard scrapers work unconfigured.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.reg.Snapshot().WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.reg.Snapshot())
+}
+
+func wantsOpenMetrics(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "openmetrics", "om", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "openmetrics") || strings.Contains(accept, "text/plain")
+}
+
+// handleFlightz exposes the flight recorder: GET reports its state and
+// spool, GET ?bundle= fetches one bundle's files, POST triggers a dump
+// immediately (bypassing the automatic-dump rate limit — an operator
+// asking for evidence should get it).
+func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.flight == nil {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]any{"enabled": false})
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		name, err := s.flight.Dump("manual", true)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"bundle": name})
+	case http.MethodGet:
+		if name := r.URL.Query().Get("bundle"); name != "" {
+			s.serveFlightBundle(w, name)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"enabled":    true,
+			"armed":      s.flight.Armed(),
+			"dumps":      s.flight.Dumps(),
+			"suppressed": s.flight.Suppressed(),
+			"bundles":    s.flight.List(),
+		})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// serveFlightBundle returns one bundle as a JSON object keyed by file
+// name: JSON members embedded raw, text members as strings. Path
+// traversal is refused by construction (the name must match a listed
+// bundle).
+func (s *Server) serveFlightBundle(w http.ResponseWriter, name string) {
+	ok := false
+	for _, b := range s.flight.List() {
+		if b == name {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]any{"error": "no such bundle"})
+		return
+	}
+	dir := filepath.Join(s.cfg.FlightSpoolDir, name)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+		return
+	}
+	out := map[string]any{"bundle": name}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, e.Name()))
+		if rerr != nil {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".json") && json.Valid(data) {
+			out[e.Name()] = json.RawMessage(data)
+		} else {
+			out[e.Name()] = string(data)
+		}
+	}
+	json.NewEncoder(w).Encode(out)
 }
 
 // handleGEMM is the request path: decode → validate → drain gate →
@@ -337,11 +545,11 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reqTotal.Inc()
-	t0 := time.Now()
-	defer func() { s.reqSeconds.Observe(time.Since(t0).Seconds()) }()
+	rs := s.startReq(r, &req)
+	defer func() { s.reqSeconds.Observe(time.Since(rs.t0).Seconds()) }()
 
 	if !s.gate.enter() {
-		s.writeTypedError(w, ErrDraining)
+		s.failReq(w, rs, ErrDraining)
 		return
 	}
 	defer s.gate.exit()
@@ -350,7 +558,7 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	// remainder of the quota into the engine as this call's MemBudget.
 	budget, unreserve, err := s.quo.reserve(req.Tenant, operandBytes(req.M, req.K, req.N))
 	if err != nil {
-		s.writeTypedError(w, err)
+		s.failReq(w, rs, err)
 		return
 	}
 	defer unreserve()
@@ -358,16 +566,15 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	// Coalescing path: plan-cacheable requests join (or lead) a wave
 	// keyed by their plan-cache entry instead of taking their own
 	// admission slot — the leader's queue wait is the batching window.
-	// Deadlines are applied per member inside the wave.
+	// Deadlines are applied per member inside the wave. The wave fills
+	// the member's ledger (gather, shared compute) before settling it.
 	if lay, ok := s.co.eligible(&req); ok {
-		resp, cerr := s.co.do(r.Context(), &req, budget, lay)
+		resp, cerr := s.co.do(r.Context(), &req, budget, lay, rs)
 		if cerr != nil {
-			s.writeTypedError(w, cerr)
+			s.failReq(w, rs, cerr)
 			return
 		}
-		s.reqOK.Inc()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
+		s.okReq(w, rs, resp)
 		return
 	}
 
@@ -376,10 +583,11 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	// frees its queue position without ever taking a slot.
 	release, queueWait, err := s.adm.acquire(r.Context())
 	if err != nil {
-		s.writeTypedError(w, err)
+		s.failReq(w, rs, err)
 		return
 	}
 	defer release()
+	rs.phaseAt(obs.PhaseQueue, obs.KindQueueWait, time.Now().Add(-queueWait), queueWait)
 
 	// Deadline propagation: client disconnect (r.Context) + drain
 	// cancellation + min(client budget, server cap) all flow into one
@@ -398,15 +606,13 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	ctx, tcancel := context.WithTimeout(ctx, deadline)
 	defer tcancel()
 
-	resp, err := s.compute(ctx, &req, budget)
+	resp, err := s.compute(ctx, &req, budget, rs)
 	if err != nil {
-		s.writeTypedError(w, err)
+		s.failReq(w, rs, err)
 		return
 	}
 	resp.QueueNS = queueWait.Nanoseconds()
-	s.reqOK.Inc()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	s.okReq(w, rs, resp)
 }
 
 // planKey is the operand-identity key of the plan cache: tenant, name,
@@ -460,7 +666,7 @@ func partnerBucket(n int) int {
 // and its fault hooks can panic too) becomes a typed internal error
 // instead of escaping into net/http, which would tear down the
 // connection untyped.
-func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp *Response, err error) {
+func (s *Server) compute(ctx context.Context, req *Request, budget int64, rs *reqState) (resp *Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if e, ok := r.(error); ok {
@@ -484,6 +690,11 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 		return nil, err
 	}
 	opts := &recmat.Options{Layout: lay, Algorithm: alg, MemBudget: budget}
+	if rs != nil {
+		// The engine stamps this id on the call's trace lane, joining the
+		// request lane to the driver spans it produced.
+		opts.TraceID = rs.trace
+	}
 
 	B := seededMat(req.K, req.N, req.BSeed)
 	var C *recmat.Matrix
@@ -507,6 +718,7 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 
 	var rep *recmat.Report
 	cached := false
+	tCall := time.Now()
 	if req.AName != "" && lay != recmat.ColMajor && s.cfg.PlanCacheBytes > 0 {
 		var ent *planEntry
 		ent, err = s.plans.acquire(planKey(req, lay, alg), func() (*recmat.Plan, error) {
@@ -537,6 +749,16 @@ func (s *Server) compute(ctx context.Context, req *Request, budget int64) (resp 
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	// Attribution: pack/unpack are the driver's layout-conversion
+	// phases; the lane span covers the whole engine call so a trace
+	// shows where the request's wall went even when conversion is free.
+	rs.phase(obs.PhasePack, rep.ConvertIn)
+	rs.phase(obs.PhaseCompute, rep.Compute)
+	rs.phase(obs.PhaseUnpack, rep.ConvertOut)
+	if rs != nil && rs.tr != nil {
+		rs.tr.LaneSpan(rs.lane, obs.KindCompute, tCall, time.Since(tCall), 0)
 	}
 
 	resp = &Response{
@@ -609,12 +831,6 @@ func classify(err error) (kind string, status int, retryAfter time.Duration) {
 	default:
 		return KindInternal, http.StatusInternalServerError, 0
 	}
-}
-
-func (s *Server) writeTypedError(w http.ResponseWriter, err error) {
-	kind, status, retryAfter := classify(err)
-	s.reg.Counter("requests_failed_" + kind).Inc()
-	s.writeError(w, status, kind, err.Error(), retryAfter)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {

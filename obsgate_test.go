@@ -100,6 +100,64 @@ func TestObsGateDisabledOverhead(t *testing.T) {
 	}
 }
 
+// TestObsGateLedgerOverhead bounds the ALWAYS-ON request-ledger cost
+// of the serving layer: per request, one trace-serial allocation, one
+// ledger ring Record, and one histogram Observe per phase. Like the
+// disabled-tracer gate, the bound is computed in one process — the
+// per-request ledger cost is measured in a tight loop and compared
+// against the wall time of the smallest plausible served multiply
+// (64³), the request shape where fixed overhead bites hardest.
+func TestObsGateLedgerOverhead(t *testing.T) {
+	obsGateEnabled(t)
+	eng := NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(43))
+	A := Random(64, 64, rng)
+	B := Random(64, 64, rng)
+	C := NewMatrix(64, 64)
+
+	// Per-request ledger pipeline cost, amortized over a tight loop.
+	ring := obs.NewLedgerRing(obs.DefaultLedgerCap)
+	reg := obs.NewRegistry()
+	var hists [obs.NumReqPhases]*obs.Histogram
+	for p := obs.ReqPhase(0); p < obs.NumReqPhases; p++ {
+		hists[p] = reg.Histogram("req_phase_"+p.String()+"_seconds", obs.SecondsBuckets)
+	}
+	const reqs = 200_000
+	l0 := time.Now()
+	for i := 0; i < reqs; i++ {
+		led := obs.Ledger{ID: "gate", Trace: obs.NextTraceSerial(), Tenant: "t", M: 64, K: 64, N: 64}
+		for p := obs.ReqPhase(0); p < obs.NumReqPhases; p++ {
+			led.PhaseNS[p] = int64(i + 1)
+			hists[p].Observe(float64(i+1) / 1e9)
+		}
+		ring.Record(led)
+	}
+	perReq := time.Since(l0).Seconds() / reqs
+
+	// Smallest-request wall time: best of 5.
+	mul := func() time.Duration {
+		t0 := time.Now()
+		if _, err := eng.Mul(C, A, B, &Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	wall := mul()
+	for i := 0; i < 4; i++ {
+		if w := mul(); w < wall {
+			wall = w
+		}
+	}
+
+	share := perReq / wall.Seconds()
+	t.Logf("ledger bound: %.0fns per request over %v min-request wall (%.4f%%)",
+		perReq*1e9, wall, 100*share)
+	if share > 0.02 {
+		t.Fatalf("enabled-ledger overhead %.2f%% of a 64³ request exceeds the 2%% gate", 100*share)
+	}
+}
+
 func TestObsGateTraceExport(t *testing.T) {
 	obsGateEnabled(t)
 	eng := NewEngine(0)
